@@ -1,0 +1,74 @@
+"""Ablation benches over the design-space knobs DESIGN.md calls out."""
+
+from conftest import attach_rows
+
+from repro.experiments.ablations import (
+    datapath_width_ablation,
+    doorbell_batching_ablation,
+    interconnect_latency_ablation,
+    outstanding_reads_ablation,
+)
+
+
+def test_ablation_interconnect(benchmark):
+    result = benchmark.pedantic(
+        lambda: interconnect_latency_ablation(iterations=8),
+        rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    rows = result.rows
+    # Better interconnects shrink the traversal kernel's latency...
+    stroms = [r["strom_us"] for r in rows]
+    assert stroms == sorted(stroms, reverse=True)
+    # ...the READ baseline gains too (each responder fetch crosses the
+    # same interconnect), but *relatively* much less: its cost is
+    # dominated by network round trips.
+    reads = [r["rdma_read_us"] for r in rows]
+    assert max(reads) / min(reads) < max(stroms) / min(stroms)
+    # So StRoM's speedup grows with the interconnect.
+    speedups = [r["speedup"] for r in rows]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 1.5 * speedups[0]
+
+
+def test_ablation_datapath_width(benchmark):
+    result = benchmark.pedantic(datapath_width_ablation, rounds=1,
+                                iterations=1)
+    attach_rows(benchmark, result)
+    rows = result.rows
+    # The published scaling claim: 8 B -> 64 B covers 10 -> 80 Gbit/s.
+    assert [r["line_rate_gbps"] for r in rows] == [10.0, 20.0, 40.0, 80.0]
+    for row in rows:
+        assert row["peak_goodput_gbps"] > 0.92 * row["line_rate_gbps"]
+    # Resources grow sublinearly: 8x width costs well under 2x LUTs.
+    assert rows[-1]["luts_k"] / rows[0]["luts_k"] < 1.5
+    # On-chip memory roughly doubles (wider FIFOs) — Table 3's pattern.
+    assert 1.8 < rows[-1]["bram"] / rows[0]["bram"] < 2.5
+
+
+def test_ablation_outstanding_reads(benchmark):
+    result = benchmark.pedantic(outstanding_reads_ablation, rounds=1,
+                                iterations=1)
+    attach_rows(benchmark, result)
+    rows = result.rows
+    # Depth 1 is credit-bound, far below the wire.
+    assert rows[0]["bottleneck"] == "read-credits"
+    assert rows[0]["read_mops"] < 0.5
+    # Rate scales ~linearly with depth until another limit takes over.
+    assert rows[2]["read_mops"] > 3.5 * rows[0]["read_mops"]
+    # Deep enough queues leave the credits regime entirely.
+    assert rows[-1]["bottleneck"] != "read-credits"
+    rates = [r["read_mops"] for r in rows]
+    assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+
+def test_ablation_doorbell_batching(benchmark):
+    result = benchmark.pedantic(doorbell_batching_ablation, rounds=1,
+                                iterations=1)
+    attach_rows(benchmark, result)
+    rows = result.rows
+    # Unbatched 256 B writes at 100 G are host-bound (Section 7.1)...
+    assert rows[0]["bottleneck"] == "host-mmio"
+    # ...and batching eliminates the limitation: the wire takes over.
+    assert rows[-1]["bottleneck"] == "wire"
+    rates = [r["write_mops"] for r in rows]
+    assert rates[-1] > 2.5 * rates[0]

@@ -1,0 +1,38 @@
+"""Figure 7: remote linked-list traversal — READ vs StRoM vs TCP RPC."""
+
+from conftest import attach_rows
+
+from repro.experiments import linked_list_experiment
+
+
+def test_fig7_linked_list(benchmark):
+    result = benchmark.pedantic(
+        lambda: linked_list_experiment(iterations=12),
+        rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    rows = result.rows
+    lengths = [r["list_length"] for r in rows]
+    reads = [r["rdma_read_us"] for r in rows]
+    stroms = [r["strom_us"] for r in rows]
+    tcps = [r["tcp_rpc_us"] for r in rows]
+    assert lengths == [4, 8, 16, 32]
+
+    # READ grows linearly with the list length: going 4 -> 32 elements
+    # (random lookup positions, so the expected hop count grows ~5x)
+    # multiplies the latency several-fold.
+    assert reads[-1] / reads[0] > 3.0
+    assert reads == sorted(reads)
+    # StRoM grows sublinearly (PCIe hops, single network round trip).
+    assert stroms[-1] / stroms[0] < reads[-1] / reads[0]
+    # TCP RPC is flat: remote invocation dominates.
+    assert tcps[-1] / tcps[0] < 1.25
+
+    # Ordering: StRoM beats READ everywhere; READ overtakes TCP for
+    # long lists (the Figure 7 crossover).
+    for read_us, strom_us in zip(reads, stroms):
+        assert strom_us < read_us
+    assert reads[-1] > tcps[-1]
+    assert reads[0] < tcps[0]
+    # StRoM stays below the TCP RPC across the published range.
+    for strom_us, tcp_us in zip(stroms, tcps):
+        assert strom_us < tcp_us

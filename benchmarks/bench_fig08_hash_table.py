@@ -1,0 +1,30 @@
+"""Figure 8: remote hash-table GET latency vs value size."""
+
+from conftest import attach_rows
+
+from repro.experiments import hash_table_experiment
+
+
+def test_fig8_hash_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: hash_table_experiment(iterations=10),
+        rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    rows = result.rows
+
+    for row in rows:
+        # The paper's core claim: READ needs two round trips, StRoM one,
+        # and the saving is roughly one network round trip.
+        assert row["read_rtts"] == 2
+        assert row["strom_rtts"] == 1
+        assert row["strom_us"] < row["rdma_read_us"]
+        saving = row["rdma_read_us"] - row["strom_us"]
+        assert 1.0 < saving < 7.0  # one avoided network round trip
+
+        # TCP RPC pays heavy message-passing latency (worst everywhere).
+        assert row["tcp_rpc_us"] > row["rdma_read_us"]
+
+    # TCP's per-byte cost shows beyond 256 B (Figure 8's description).
+    small = next(r for r in rows if r["value_B"] == 256)
+    big = next(r for r in rows if r["value_B"] == 4096)
+    assert big["tcp_rpc_us"] - small["tcp_rpc_us"] > 5.0

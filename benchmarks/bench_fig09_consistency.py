@@ -1,0 +1,33 @@
+"""Figure 9: consistency-checked reads vs object size."""
+
+from conftest import attach_rows
+
+from repro.experiments import consistency_latency_experiment
+
+
+def test_fig9_consistency(benchmark):
+    result = benchmark.pedantic(
+        lambda: consistency_latency_experiment(iterations=10),
+        rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    rows = result.rows
+
+    small = rows[0]
+    big = rows[-1]
+    assert small["object_B"] == 64 and big["object_B"] == 4096
+
+    # Small objects: both checks are marginal (Section 6.3).
+    assert small["sw_overhead_pct"] < 10.0
+    assert small["strom_overhead_pct"] < 12.0
+
+    # 4 KB objects: software CRC64 costs tens of percent (paper: ~40%)
+    # while StRoM adds ~1 us.
+    assert 25.0 < big["sw_overhead_pct"] < 50.0
+    strom_added_us = big["strom_us"] - big["read_us"]
+    assert strom_added_us < 2.0
+    # StRoM beats READ+SW for large objects.
+    assert big["strom_us"] < big["read_sw_us"]
+
+    # SW overhead grows with object size (sequential CRC64).
+    sw_over = [r["sw_overhead_pct"] for r in rows]
+    assert sw_over[-1] > sw_over[0]

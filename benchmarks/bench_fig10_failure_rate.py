@@ -1,0 +1,30 @@
+"""Figure 10: average read latency under checksum failures."""
+
+from conftest import attach_rows
+
+from repro.experiments import failure_rate_experiment
+
+
+def test_fig10_failure_rate(benchmark):
+    result = benchmark.pedantic(
+        lambda: failure_rate_experiment(iterations=30),
+        rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    rows = result.rows
+
+    def series(object_bytes, column):
+        return [r[column] for r in rows if r["object_B"] == object_bytes]
+
+    for size in (64, 512, 4096):
+        sw = series(size, "read_sw_us")
+        strom = series(size, "strom_us")
+        # Failure rates sweep 0 -> 50%: READ+SW degrades measurably
+        # (each failure costs a network round trip)...
+        assert sw[-1] > sw[0] * 1.2
+        # ...while StRoM barely moves (local PCIe re-read only).
+        assert strom[-1] < strom[0] * 1.25
+        # At <= 1% failures neither is notably affected.
+        assert sw[1] < sw[0] * 1.10
+        assert strom[1] < strom[0] * 1.05
+        # At 50% StRoM wins clearly.
+        assert strom[-1] < sw[-1]

@@ -1,0 +1,62 @@
+"""Figure 12: the 100 G StRoM build (latency, throughput, message rate)."""
+
+from conftest import attach_rows
+
+from repro.config import NIC_10G, NIC_100G
+from repro.experiments import (
+    latency_experiment,
+    message_rate_experiment,
+    throughput_experiment,
+)
+
+
+def test_fig12a_latency(benchmark):
+    result = benchmark.pedantic(
+        lambda: latency_experiment(NIC_100G, iterations=20,
+                                   experiment_id="fig12a"),
+        rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    rows = result.rows
+    # Latency drops vs 10 G (higher clock + wider data path, §7.1).
+    ten_g = latency_experiment(NIC_10G, iterations=10)
+    for row100, row10 in zip(rows, ten_g.rows):
+        assert row100["write_med_us"] < row10["write_med_us"]
+        assert row100["read_med_us"] < row10["read_med_us"]
+    # The payload-size dependence shrinks at 100 G: fewer, wider words
+    # in the ICRC store-and-forward (64 B vs 1 KB gap narrows).
+    gap100 = rows[-1]["write_med_us"] - rows[0]["write_med_us"]
+    gap10 = ten_g.rows[-1]["write_med_us"] - ten_g.rows[0]["write_med_us"]
+    assert gap100 < gap10
+
+
+def test_fig12b_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: throughput_experiment(NIC_100G, experiment_id="fig12b"),
+        rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    rows = result.rows
+    # Saturates the available bandwidth once payloads are large enough.
+    assert rows[-1]["write_gbps"] > 90.0
+    # Small payloads are far below line rate (host message rate).
+    assert rows[0]["write_gbps"] < 10.0
+
+
+def test_fig12c_message_rate(benchmark):
+    result = benchmark.pedantic(
+        lambda: message_rate_experiment(
+            NIC_100G, payloads=[64, 256, 1024, 2048, 4096],
+            experiment_id="fig12c"),
+        rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    rows = {r["payload_B"]: r for r in result.rows}
+    # Below 2 KB the limit is the host issuing commands, not the wire
+    # (Section 7.1): the measured rate plateaus under the ideal line.
+    for payload in (64, 256, 1024):
+        row = rows[payload]
+        assert row["bottleneck"] == "host-mmio"
+        assert row["write_mops"] < row["ideal_mops"]
+    # The host cap sits near 8-10 M msg/s.
+    assert 7.0 < rows[64]["write_mops"] < 10.0
+    # From 2 KB upward the wire takes over.
+    assert rows[2048]["bottleneck"] == "wire"
+    assert rows[4096]["bottleneck"] == "wire"

@@ -1,0 +1,90 @@
+"""Figure 13: HyperLogLog on the CPU vs as a StRoM kernel at 100 G."""
+
+import struct
+
+import numpy as np
+from conftest import attach_rows
+
+from repro.config import NIC_100G
+from repro.core.rpc import RpcOpcode
+from repro.experiments import hll_cpu_experiment, hll_kernel_experiment
+from repro.host import build_fabric
+from repro.kernels import HllKernel, HllParams
+from repro.sim import MS, Simulator, timebase
+
+
+def test_fig13a_cpu_hll(benchmark):
+    result = benchmark.pedantic(
+        lambda: hll_cpu_experiment(sample_tuples=100_000),
+        rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    rows = {r["threads"]: r for r in result.rows}
+    # The published series: 4.64 / 9.28 / 18.40 / 24.40 Gbit/s.
+    assert abs(rows[1]["throughput_gbps"] - 4.64) < 0.10
+    assert abs(rows[2]["throughput_gbps"] - 9.28) < 0.15
+    assert abs(rows[4]["throughput_gbps"] - 18.40) < 0.40
+    assert abs(rows[8]["throughput_gbps"] - 24.40) < 0.50
+    # Even 8 threads stay far below the 100 G arrival rate.
+    assert rows[8]["throughput_gbps"] < 30.0
+    # The functional sketch is accurate (HLL error, not a constant).
+    assert all(r["estimate_error_pct"] < 2.0 for r in result.rows)
+
+
+def test_fig13b_kernel_hll_flow(benchmark):
+    result = benchmark.pedantic(hll_kernel_experiment, rounds=1,
+                                iterations=1)
+    attach_rows(benchmark, result)
+    for row in result.rows:
+        # Zero throughput overhead at every payload size.
+        assert row["overhead_pct"] < 0.5
+    # Line rate for large payloads.
+    assert result.rows[-1]["write_hll_gbps"] > 90.0
+
+
+def test_fig13b_kernel_hll_detailed(benchmark):
+    """Detailed spot check: real kernel on the RX stream at 100 G
+    approaches line rate and estimates accurately."""
+
+    def run():
+        env = Simulator()
+        fabric = build_fabric(env, nic_config=NIC_100G)
+        kernel = HllKernel(env, fabric.server.nic.config)
+        fabric.server.nic.deploy_kernel(RpcOpcode.HLL, kernel)
+        num_tuples = 40_000
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 10_000, size=num_tuples, dtype=np.uint64)
+        src = fabric.client.alloc(num_tuples * 8, "src")
+        fabric.client.space.write(src.vaddr, values.tobytes())
+        dst = fabric.server.alloc(num_tuples * 8, "dst")
+        registers = fabric.server.alloc(1 << 14, "regs")
+        response = fabric.client.alloc(4096, "resp")
+
+        def proc():
+            start = env.now
+            params = HllParams(response_vaddr=response.vaddr,
+                               data_vaddr=dst.vaddr,
+                               registers_vaddr=registers.vaddr,
+                               total_bytes=num_tuples * 8)
+            yield from fabric.client.post_rpc(
+                fabric.client_qpn, RpcOpcode.HLL, params.pack())
+            yield from fabric.client.post_rpc_write(
+                fabric.client_qpn, RpcOpcode.HLL, src.vaddr,
+                num_tuples * 8)
+            yield from fabric.client.wait_for_data(response.vaddr, 16)
+            return env.now - start
+
+        elapsed = env.run_until_complete(env.process(proc()),
+                                         limit=1000 * MS)
+        estimate, _seen = struct.unpack(
+            "<QQ", fabric.client.space.read(response.vaddr, 16))
+        gbps = num_tuples * 8 * 8 / timebase.to_seconds(elapsed) / 1e9
+        truth = len(set(values.tolist()))
+        return gbps, estimate, truth
+
+    gbps, estimate, truth = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["gbps"] = gbps
+    benchmark.extra_info["estimate"] = estimate
+    print(f"\ndetailed Write+HLL: {gbps:.1f} Gbit/s, estimate {estimate} "
+          f"(truth {truth})")
+    assert gbps > 70.0  # near line rate despite short-transfer overheads
+    assert abs(estimate - truth) / truth < 0.03

@@ -1,0 +1,35 @@
+"""Table 3 + Section 6.1: FPGA resource usage of the StRoM builds."""
+
+from conftest import attach_rows
+
+from repro.experiments import table3_experiment, virtex7_experiment
+
+
+def test_table3_vcu118(benchmark):
+    result = benchmark.pedantic(table3_experiment, rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    rows = {r["build"]: r for r in result.rows}
+    ten = rows["StRoM-10G"]
+    hundred = rows["StRoM-100G"]
+    # Published percentages (Table 3).
+    assert abs(ten["luts_pct"] - 7.8) < 0.2
+    assert abs(ten["bram_pct"] - 8.4) < 0.2
+    assert abs(ten["ffs_pct"] - 4.8) < 0.2
+    assert abs(hundred["luts_pct"] - 10.3) < 0.3
+    assert abs(hundred["bram_pct"] - 18.6) < 0.4
+    assert abs(hundred["ffs_pct"] - 9.1) < 0.3
+    # Published absolute counts.
+    assert abs(ten["luts_k"] - 92) < 1.5
+    assert abs(hundred["bram"] - 402) < 5
+
+
+def test_sec61_virtex7(benchmark):
+    result = benchmark.pedantic(virtex7_experiment, rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    rows = {r["queue_pairs"]: r for r in result.rows}
+    # 24% logic, 9% BRAM at 500 QPs.
+    assert abs(rows[500]["logic_pct"] - 24.0) < 0.5
+    assert abs(rows[500]["bram_pct"] - 9.0) < 0.5
+    # 20% BRAM at 16,000 QPs; logic grows by less than 1%.
+    assert abs(rows[16000]["bram_pct"] - 20.0) < 1.0
+    assert rows[16000]["logic_delta_pct"] < 1.0

@@ -1,0 +1,39 @@
+"""Model self-validation benches: flow-vs-detailed agreement and the
+Section 4.1 pipeline cycle-budget argument."""
+
+from conftest import attach_rows
+
+from repro.experiments import (
+    flow_vs_detailed_experiment,
+    stack_budget_experiment,
+)
+
+
+def test_validation_flow_vs_detailed(benchmark):
+    result = benchmark.pedantic(flow_vs_detailed_experiment, rounds=1,
+                                iterations=1)
+    attach_rows(benchmark, result)
+    for row in result.rows:
+        # The flow model is an upper bound (no pipeline-fill effects)...
+        assert row["detailed_gbps"] <= row["flow_gbps"] * 1.02
+        # ...and the detailed simulation lands within ~12% of it.
+        assert row["gap_pct"] < 12.0
+    # Large transfers agree within a few percent.
+    big = [r for r in result.rows if r["payload_B"] == 65536]
+    assert all(r["gap_pct"] < 5.0 for r in big)
+
+
+def test_validation_stack_budget(benchmark):
+    result = benchmark.pedantic(stack_budget_experiment, rounds=1,
+                                iterations=1)
+    attach_rows(benchmark, result)
+    rows = {(r["build"], r["payload_B"]): r for r in result.rows}
+    # 10 G sustains line rate at every size (Section 4.1).
+    for payload in (1, 64, 1440):
+        assert rows[("StRoM-10G", payload)]["sustains"]
+    # 100 G: the State Table is nominally oversubscribed for small
+    # packets but the effective limit is the host (Sections 4.1/7.1).
+    small = rows[("StRoM-100G", 64)]
+    assert not small["sustains"]
+    assert small["effective_limit"] == "host-mmio"
+    assert rows[("StRoM-100G", 1440)]["sustains"]

@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Each ``bench_*`` file regenerates one table/figure of the paper's
+evaluation.  The pytest-benchmark timing measures the harness itself
+(simulation wall time); the *reproduced values* are attached to each
+benchmark's ``extra_info`` and printed, and shape assertions guard the
+paper's qualitative claims (who wins, by roughly what factor).
+"""
+
+import pytest
+
+
+def attach_rows(benchmark, result) -> None:
+    """Store an ExperimentResult's rows in the benchmark record and echo
+    the table so `pytest benchmarks/ --benchmark-only -s` shows it."""
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["rows"] = result.rows
+    print()
+    print(result.format_table())

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""A distributed radix join whose build side is shuffled by the NIC.
+
+The complete Section 6.4 story: relation R lives on the client, relation
+S on the server.  R streams across the wire and the server's StRoM NIC
+radix-partitions it on the fly; the server partitions S locally, then
+joins partition pairs with cache-resident hash tables.  The join
+cardinality is exact (verified against a brute-force oracle).
+
+Run:  python examples/distributed_join.py
+"""
+
+import numpy as np
+
+from repro import Simulator, build_fabric
+from repro.apps import DistributedRadixJoin, reference_join_count
+from repro.config import HOST_DEFAULT
+from repro.host.cpu import CpuModel
+from repro.sim import MS
+
+BUILD_TUPLES = 20_000
+PROBE_TUPLES = 30_000
+KEY_SPACE = 8_000
+PARTITION_BITS = 4
+
+
+def main() -> None:
+    env = Simulator()
+    fabric = build_fabric(env)
+    join = DistributedRadixJoin(fabric, PARTITION_BITS,
+                                CpuModel(HOST_DEFAULT))
+
+    rng = np.random.default_rng(31)
+    build = rng.integers(0, KEY_SPACE, size=BUILD_TUPLES, dtype=np.uint64)
+    probe = rng.integers(0, KEY_SPACE, size=PROBE_TUPLES, dtype=np.uint64)
+
+    def run():
+        result = yield from join.execute(build, probe)
+        return result
+
+    result = env.run_until_complete(env.process(run()), limit=30_000 * MS)
+    env.run()  # drain trailing posted DMA
+
+    expected = reference_join_count(build, probe)
+    print(f"R |><| S over {result.partitions} radix partitions:")
+    print(f"  build (shuffled via StRoM) : {result.build_tuples} tuples, "
+          f"{result.shuffle_seconds * 1e3:.2f} ms")
+    print(f"  probe (local partitioning) : {result.probe_tuples} tuples, "
+          f"{result.local_partition_seconds * 1e3:.3f} ms")
+    print(f"  per-partition hash join    : "
+          f"{result.join_seconds * 1e3:.3f} ms")
+    print(f"  join cardinality           : {result.matches} "
+          f"(oracle: {expected})")
+    assert result.matches == expected
+    print("distributed_join OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Disaggregated remote memory with verified objects (intro use case).
+
+A memory server exports CRC64-sealed objects behind a directory; clients
+GET them in a single network round trip through the consistency kernel.
+The demo races a writer against readers: torn reads happen, the kernel
+retries locally over PCIe, and clients only ever observe complete
+versions.
+
+Run:  python examples/remote_object_store.py
+"""
+
+from repro import Simulator, build_fabric
+from repro.apps import ObjectStoreClient, RemoteObjectStore
+from repro.kernels import seeded_failure_injector
+from repro.sim import MS, timebase
+
+TORN_READ_RATE = 0.30
+NUM_OBJECTS = 8
+NUM_GETS = 40
+
+
+def main() -> None:
+    env = Simulator()
+    fabric = build_fabric(env)
+    store = RemoteObjectStore(
+        fabric.server, max_objects=64,
+        failure_injector=seeded_failure_injector(TORN_READ_RATE, seed=4))
+    client = ObjectStoreClient(fabric, store)
+
+    for object_id in range(NUM_OBJECTS):
+        store.put(object_id,
+                  f"object-{object_id}-v1".encode().ljust(512, b"."))
+    print(f"server exports {NUM_OBJECTS} sealed objects "
+          f"({store.lookup(0).sealed_size} B each)")
+
+    latencies = []
+
+    def reader():
+        for i in range(NUM_GETS):
+            object_id = i % NUM_OBJECTS
+            start = env.now
+            payload = yield from client.get(object_id,
+                                            refresh_directory=True)
+            latencies.append(env.now - start)
+            assert payload is not None
+            assert payload.startswith(f"object-{object_id}-".encode())
+            # A writer updates objects between reads (server-side CPU).
+            if i % 5 == 4:
+                version = store.lookup(object_id).version + 1
+                store.put(object_id,
+                          f"object-{object_id}-v{version}".encode()
+                          .ljust(512, b"."))
+
+    env.run_until_complete(env.process(reader()), limit=5000 * MS)
+
+    mean_us = sum(latencies) / len(latencies) / 1e6
+    print(f"{NUM_GETS} consistent GETs, mean {mean_us:.2f} us, "
+          f"single round trip each")
+    print(f"torn reads recovered on the NIC: {store.kernel.checks_failed} "
+          f"(local PCIe re-reads, no extra network traffic)")
+    assert store.kernel.checks_failed > 0  # the race actually happened
+    print("remote_object_store OK")
+
+
+if __name__ == "__main__":
+    main()

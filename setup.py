@@ -1,0 +1,6 @@
+"""Setup shim enabling legacy editable installs in offline environments
+(no `wheel` package available): ``pip install -e . --no-use-pep517``."""
+
+from setuptools import setup
+
+setup()

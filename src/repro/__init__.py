@@ -1,0 +1,68 @@
+"""StRoM: Smart Remote Memory (EuroSys '20) — full-system reproduction.
+
+A discrete-event, cycle-aware simulation of the StRoM FPGA-based RoCE v2
+SmartNIC and everything it depends on: the RoCE v2 protocol engine, PCIe
+DMA path, NIC TLB, host memory, and host software — plus the paper's four
+programmable kernels (traversal, consistency, shuffle, HyperLogLog), the
+Listing-2 GET kernel, all published baselines, and one experiment harness
+per evaluation table/figure.
+
+Quick start::
+
+    from repro import Simulator, build_fabric, RpcOpcode
+    from repro.kernels import TraversalKernel
+
+    env = Simulator()
+    fabric = build_fabric(env)
+    kernel = TraversalKernel(env, fabric.server.nic.config)
+    fabric.server.nic.deploy_kernel(RpcOpcode.TRAVERSAL, kernel)
+    ...
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from . import algos, apps, config, fpga, host, kernels
+from . import memory, net, nic, roce, sim
+from .config import (
+    HOST_DEFAULT,
+    NIC_10G,
+    NIC_100G,
+    HostConfig,
+    NicConfig,
+    scaled_config,
+)
+from .core import RpcOpcode, RpcPreamble, StromKernel, pack_params
+from .host import Fabric, HostNode, build_fabric
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Fabric",
+    "HOST_DEFAULT",
+    "HostConfig",
+    "HostNode",
+    "NIC_100G",
+    "NIC_10G",
+    "NicConfig",
+    "RpcOpcode",
+    "RpcPreamble",
+    "Simulator",
+    "StromKernel",
+    "algos",
+    "apps",
+    "build_fabric",
+    "config",
+    "fpga",
+    "host",
+    "kernels",
+    "memory",
+    "net",
+    "nic",
+    "pack_params",
+    "roce",
+    "scaled_config",
+    "sim",
+    "__version__",
+]

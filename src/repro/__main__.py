@@ -1,0 +1,9 @@
+"""``python -m repro`` — run the evaluation reproduction.
+
+Delegates to :mod:`repro.experiments.runner`; see ``--help``.
+"""
+
+from .experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Hash functions shared by the kernels and baselines.
+
+- :func:`radix_hash`: the shuffle kernel's partitioner — "a radix hash
+  function that simply takes the N least significant bits of the value"
+  (Section 6.4).
+- :func:`murmur64`: a 64-bit finalizer-style mixer used by HyperLogLog
+  (both the StRoM kernel and the CPU baseline hash tuples the same way).
+- :func:`fnv1a64`: hash used by the key-value store to place keys into
+  hash-table buckets.
+
+Vectorized numpy variants exist for bulk workloads (multi-hundred-MB
+shuffles would be hopeless element-at-a-time in Python).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def radix_hash(value: int, bits: int) -> int:
+    """N least-significant bits of the value (Section 6.4)."""
+    if not 0 <= bits <= 64:
+        raise ValueError("bits must be within [0, 64]")
+    return value & ((1 << bits) - 1)
+
+
+def radix_hash_array(values: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorized :func:`radix_hash` over a uint64 array."""
+    if not 0 <= bits <= 64:
+        raise ValueError("bits must be within [0, 64]")
+    mask = np.uint64((1 << bits) - 1)
+    return values.astype(np.uint64, copy=False) & mask
+
+
+def murmur64(value: int) -> int:
+    """MurmurHash3's 64-bit finalizer: a fast, well-mixing bijection."""
+    h = value & _MASK64
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+    h ^= h >> 33
+    h = (h * 0xC4CEB9FE1A85EC53) & _MASK64
+    h ^= h >> 33
+    return h
+
+
+def murmur64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`murmur64` over a uint64 array."""
+    h = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        h ^= h >> np.uint64(33)
+        h *= np.uint64(0xFF51AFD7ED558CCD)
+        h ^= h >> np.uint64(33)
+        h *= np.uint64(0xC4CEB9FE1A85EC53)
+        h ^= h >> np.uint64(33)
+    return h
+
+
+def fnv1a64(data: bytes) -> int:
+    """FNV-1a 64-bit over bytes (key placement in the KV store)."""
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & _MASK64
+    return h
+
+
+def fnv1a64_int(value: int) -> int:
+    """FNV-1a over an integer key's 8-byte little-endian encoding."""
+    return fnv1a64((value & _MASK64).to_bytes(8, "little"))

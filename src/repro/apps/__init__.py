@@ -1,0 +1,41 @@
+"""Applications built on the StRoM public API.
+
+- :mod:`repro.apps.kvstore` — Pilaf-style key-value store (Sections
+  6.2/6.3): GETs via one-sided READs, the traversal kernel, or TCP RPC.
+- :mod:`repro.apps.join` — distributed radix join shuffling its build
+  relation through the shuffle kernel (the Section 6.4 use case).
+- :mod:`repro.apps.object_store` — disaggregated remote object store
+  with single-round-trip consistency-checked GETs (the intro use case).
+"""
+
+from .join import DistributedRadixJoin, JoinResult, reference_join_count
+from .kvstore import (
+    ENTRY_BYTES,
+    GetResult,
+    KvClient,
+    KvServer,
+    pack_entry,
+    unpack_entry,
+)
+from .object_store import (
+    DIRECTORY_SLOT_BYTES,
+    DirectoryEntry,
+    ObjectStoreClient,
+    RemoteObjectStore,
+)
+
+__all__ = [
+    "DIRECTORY_SLOT_BYTES",
+    "DirectoryEntry",
+    "DistributedRadixJoin",
+    "ENTRY_BYTES",
+    "GetResult",
+    "JoinResult",
+    "KvClient",
+    "KvServer",
+    "ObjectStoreClient",
+    "RemoteObjectStore",
+    "pack_entry",
+    "reference_join_count",
+    "unpack_entry",
+]

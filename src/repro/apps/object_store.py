@@ -1,0 +1,172 @@
+"""A disaggregated remote object store (the introduction's use case).
+
+StRoM's pitch: "disaggregated memory, remote memory, network attached
+storage" served by one-sided operations plus NIC kernels.  This store
+keeps CRC64-sealed objects in server memory behind a fixed directory:
+
+- directory slot (32 B): object address, sealed size, version, valid flag
+- object heap: sealed objects (payload + trailing CRC64)
+
+Clients GET objects in **one network round trip** through the
+consistency kernel — the remote NIC re-reads locally until the checksum
+verifies, so racing updates never leak torn objects.  Updates go through
+the server CPU (as writes do in Pilaf/FaRM) and bump the version.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from ..algos.crc import ChecksummedObject
+from ..core.rpc import RpcOpcode
+from ..host.node import Fabric, HostNode
+from ..kernels.consistency import (
+    ConsistencyKernel,
+    ConsistencyParams,
+    INCONSISTENT_MARKER,
+)
+
+_DIRECTORY_SLOT = struct.Struct("<QIIQQ")  # addr, size, version, valid, pad
+DIRECTORY_SLOT_BYTES = 32
+
+
+@dataclass(frozen=True)
+class DirectoryEntry:
+    """Client-visible object metadata."""
+
+    object_id: int
+    vaddr: int
+    sealed_size: int
+    version: int
+    valid: bool
+
+
+class RemoteObjectStore:
+    """Server side: directory + heap + the consistency kernel."""
+
+    def __init__(self, node: HostNode, max_objects: int = 1024,
+                 heap_bytes: int = 16 * 1024 * 1024,
+                 failure_injector=None) -> None:
+        if max_objects < 1:
+            raise ValueError("need at least one directory slot")
+        self.node = node
+        self.max_objects = max_objects
+        self.directory = node.alloc(max_objects * DIRECTORY_SLOT_BYTES,
+                                    "store.directory")
+        self.heap = node.alloc(heap_bytes, "store.heap")
+        self._heap_cursor = 0
+        self.kernel = ConsistencyKernel(node.env, node.nic.config,
+                                        failure_injector=failure_injector)
+        node.nic.deploy_kernel(RpcOpcode.CONSISTENCY, self.kernel)
+
+    # ------------------------------------------------------------------
+    # Directory plumbing
+    # ------------------------------------------------------------------
+    def _slot_vaddr(self, object_id: int) -> int:
+        if not 0 <= object_id < self.max_objects:
+            raise KeyError(f"object id {object_id} out of range")
+        return self.directory.vaddr + object_id * DIRECTORY_SLOT_BYTES
+
+    def _read_slot(self, object_id: int) -> DirectoryEntry:
+        raw = self.node.space.read(self._slot_vaddr(object_id),
+                                   DIRECTORY_SLOT_BYTES)
+        vaddr, size, version, valid, _pad = _DIRECTORY_SLOT.unpack(raw)
+        return DirectoryEntry(object_id=object_id, vaddr=vaddr,
+                              sealed_size=size, version=version,
+                              valid=bool(valid))
+
+    def _write_slot(self, object_id: int, vaddr: int, size: int,
+                    version: int, valid: bool) -> None:
+        self.node.space.write(
+            self._slot_vaddr(object_id),
+            _DIRECTORY_SLOT.pack(vaddr, size, version, int(valid), 0))
+
+    # ------------------------------------------------------------------
+    # Server-side operations (through the local CPU, like Pilaf PUTs)
+    # ------------------------------------------------------------------
+    def put(self, object_id: int, payload: bytes) -> DirectoryEntry:
+        """Create or replace an object; returns its new directory entry."""
+        sealed = ChecksummedObject.seal(payload)
+        old = self._read_slot(object_id)
+        if old.valid and old.sealed_size >= len(sealed):
+            vaddr = old.vaddr  # update in place
+        else:
+            if self._heap_cursor + len(sealed) > self.heap.nbytes:
+                raise MemoryError("object heap exhausted")
+            vaddr = self.heap.vaddr + self._heap_cursor
+            self._heap_cursor += len(sealed)
+        self.node.space.write(vaddr, sealed)
+        version = old.version + 1 if old.valid else 1
+        self._write_slot(object_id, vaddr, len(sealed), version, True)
+        return self._read_slot(object_id)
+
+    def delete(self, object_id: int) -> None:
+        entry = self._read_slot(object_id)
+        if entry.valid:
+            self._write_slot(object_id, 0, 0, entry.version, False)
+
+    def corrupt_for_testing(self, object_id: int) -> None:
+        """Flip a payload byte without re-sealing (simulates a torn or
+        damaged object for recovery tests)."""
+        entry = self._read_slot(object_id)
+        if not entry.valid:
+            raise KeyError("no such object")
+        byte = self.node.space.read(entry.vaddr, 1)
+        self.node.space.write(entry.vaddr, bytes([byte[0] ^ 0xFF]))
+
+    def lookup(self, object_id: int) -> Optional[DirectoryEntry]:
+        entry = self._read_slot(object_id)
+        return entry if entry.valid else None
+
+
+class ObjectStoreClient:
+    """Client side: directory caching + single-round-trip consistent GETs."""
+
+    def __init__(self, fabric: Fabric, store: RemoteObjectStore) -> None:
+        self.fabric = fabric
+        self.store = store
+        node = fabric.client
+        self._dir_buf = node.alloc(DIRECTORY_SLOT_BYTES * 4, "cli.dir")
+        self._obj_buf = node.alloc(64 * 1024, "cli.obj")
+        self._cache: dict = {}
+
+    def fetch_directory_entry(self, object_id: int):
+        """One-sided READ of the directory slot (cached thereafter)."""
+        client = self.fabric.client
+        remote = self.store._slot_vaddr(object_id)
+        yield from client.read_sync(self.fabric.client_qpn,
+                                    self._dir_buf.vaddr, remote,
+                                    DIRECTORY_SLOT_BYTES)
+        raw = client.space.read(self._dir_buf.vaddr, DIRECTORY_SLOT_BYTES)
+        vaddr, size, version, valid, _pad = _DIRECTORY_SLOT.unpack(raw)
+        entry = DirectoryEntry(object_id=object_id, vaddr=vaddr,
+                               sealed_size=size, version=version,
+                               valid=bool(valid))
+        self._cache[object_id] = entry
+        return entry
+
+    def get(self, object_id: int, refresh_directory: bool = False):
+        """Consistent GET: returns the verified payload bytes, or None
+        if the object does not exist / cannot be verified."""
+        client = self.fabric.client
+        entry = self._cache.get(object_id)
+        if entry is None or refresh_directory:
+            entry = yield from self.fetch_directory_entry(object_id)
+        if not entry.valid:
+            return None
+        params = ConsistencyParams(response_vaddr=self._obj_buf.vaddr,
+                                   object_vaddr=entry.vaddr,
+                                   object_size=entry.sealed_size,
+                                   max_retries=16)
+        yield from client.post_rpc(self.fabric.client_qpn,
+                                   RpcOpcode.CONSISTENCY, params.pack())
+        yield from client.wait_for_data(self._obj_buf.vaddr, 8)
+        sealed = client.space.read(self._obj_buf.vaddr, entry.sealed_size)
+        marker = int.from_bytes(sealed[:8], "little")
+        if marker == INCONSISTENT_MARKER:
+            return None
+        if not ChecksummedObject.verify(sealed):
+            return None  # stale directory: size changed under us
+        return ChecksummedObject.payload(sealed)

@@ -1,0 +1,44 @@
+"""The StRoM kernel framework — the paper's primary contribution.
+
+- :class:`StromKernel` and :class:`KernelStreams`: the fixed hardware
+  interface of Listing 1.
+- :class:`KernelRegistry`: Portals-style RPC op-code matching with CPU
+  fallback (Section 5.1).
+- :mod:`repro.core.rpc`: RPC op-codes, parameter marshalling, error codes.
+"""
+
+from .kernel import (
+    KernelStreams,
+    MemCmd,
+    RoceMeta,
+    RpcInvocation,
+    StromKernel,
+)
+from .registry import KernelRegistry
+from .rpc import (
+    MAX_PARAM_BYTES,
+    PREAMBLE_SIZE,
+    RPC_ERROR_BAD_PARAMS,
+    RPC_ERROR_NO_KERNEL,
+    RpcOpcode,
+    RpcPreamble,
+    pack_params,
+    params_body,
+)
+
+__all__ = [
+    "KernelRegistry",
+    "KernelStreams",
+    "MAX_PARAM_BYTES",
+    "MemCmd",
+    "PREAMBLE_SIZE",
+    "RPC_ERROR_BAD_PARAMS",
+    "RPC_ERROR_NO_KERNEL",
+    "RoceMeta",
+    "RpcInvocation",
+    "RpcOpcode",
+    "RpcPreamble",
+    "StromKernel",
+    "pack_params",
+    "params_body",
+]

@@ -1,0 +1,155 @@
+"""The StRoM kernel framework: Listing 1's hardware interface in Python.
+
+A kernel is deployed on the data path between the RoCE stack and the DMA
+engine and communicates exclusively over eight streams::
+
+    void strom_kernel(stream<ap_uint<24>>&  qpnIn,
+                      stream<ap_uint<256>>& paramIn,
+                      stream<net_axis<512>>& roceDataIn,
+                      stream<memCmd>&        dmaCmdOut,
+                      stream<net_axis<512>>& dmaDataOut,
+                      stream<net_axis<512>>& dmaDataIn,
+                      stream<roceMeta>&      roceMetaOut,
+                      stream<net_axis<512>>& roceDataOut);
+
+The Python mirror keeps the same eight channels with the same directions.
+Timing: a kernel charges its own pipeline costs through
+:meth:`StromKernel.charge_cycles` / :meth:`StromKernel.charge_streaming`;
+a kernel achieving initiation interval II=1 consumes one data-path word
+per clock, i.e. line rate (Section 3.4, footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..config import NicConfig
+from ..sim import Simulator, Stream
+
+
+@dataclass(frozen=True)
+class MemCmd:
+    """A DMA command issued by a kernel (12 B command bus of Figure 4)."""
+
+    vaddr: int
+    length: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("DMA length must be positive")
+        if self.vaddr < 0:
+            raise ValueError("negative address")
+
+
+@dataclass(frozen=True)
+class RoceMeta:
+    """TX metadata a kernel emits to send an RDMA WRITE over the network
+    (20 B bus of Figure 4: QPN + target virtual address + length)."""
+
+    qpn: int
+    target_vaddr: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError("negative length")
+
+
+@dataclass(frozen=True)
+class RpcInvocation:
+    """What arrives on the qpnIn/paramIn streams for one RPC."""
+
+    qpn: int
+    params: bytes
+
+
+class KernelStreams:
+    """The eight FIFOs of the fixed kernel interface."""
+
+    def __init__(self, env: Simulator, depth: int = 64) -> None:
+        self.qpn_in = Stream(env, name="qpnIn")
+        self.param_in = Stream(env, name="paramIn")
+        self.roce_data_in = Stream(env, name="roceDataIn")
+        self.dma_cmd_out = Stream(env, capacity=depth, name="dmaCmdOut")
+        self.dma_data_out = Stream(env, capacity=depth, name="dmaDataOut")
+        self.dma_data_in = Stream(env, name="dmaDataIn")
+        self.roce_meta_out = Stream(env, capacity=depth, name="roceMetaOut")
+        self.roce_data_out = Stream(env, capacity=depth, name="roceDataOut")
+
+
+class StromKernel:
+    """Base class for StRoM kernels.
+
+    Subclasses implement :meth:`run` as a simulation process that loops
+    forever serving invocations.  The NIC wires the streams to the RoCE
+    stack and the DMA engine and starts the kernel when it is deployed.
+    """
+
+    #: Human-readable kernel name (diagnostics only).
+    name = "strom-kernel"
+
+    def __init__(self, env: Simulator, config: NicConfig) -> None:
+        self.env = env
+        self.config = config
+        self.streams = KernelStreams(env)
+        self.invocations = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the kernel's process(es)."""
+        self.env.process(self.run())
+
+    def run(self) -> Generator:
+        """The kernel's main loop; must be overridden."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Timing helpers
+    # ------------------------------------------------------------------
+    def charge_cycles(self, cycles: int):
+        """Event: ``cycles`` of the RoCE clock (fixed pipeline latency)."""
+        return self.env.timeout(self.config.cycles(cycles))
+
+    def charge_streaming(self, num_bytes: int):
+        """Event: stream ``num_bytes`` through an II=1 pipeline stage."""
+        return self.env.timeout(self.config.streaming_time(num_bytes))
+
+    # ------------------------------------------------------------------
+    # Stream conveniences (process helpers, use with ``yield from``)
+    # ------------------------------------------------------------------
+    def next_invocation(self):
+        """Wait for the next RPC: reads qpnIn and paramIn together, the
+        way every published kernel's first stage does (Listing 3)."""
+        qpn = yield self.streams.qpn_in.get()
+        params = yield self.streams.param_in.get()
+        self.invocations += 1
+        return RpcInvocation(qpn=qpn, params=params)
+
+    def dma_read(self, vaddr: int, length: int):
+        """Issue a DMA read command and wait for the data."""
+        yield self.streams.dma_cmd_out.put(
+            MemCmd(vaddr=vaddr, length=length, is_write=False))
+        data = yield self.streams.dma_data_in.get()
+        return data
+
+    def dma_write(self, vaddr: int, data: bytes):
+        """Issue a DMA write command followed by its data."""
+        yield self.streams.dma_cmd_out.put(
+            MemCmd(vaddr=vaddr, length=len(data), is_write=True))
+        yield self.streams.dma_data_out.put(data)
+
+    def send_to_network(self, qpn: int, target_vaddr: int, data: bytes):
+        """Emit an RDMA WRITE of ``data`` to the requester's memory."""
+        yield self.streams.roce_meta_out.put(
+            RoceMeta(qpn=qpn, target_vaddr=target_vaddr, length=len(data)))
+        yield self.streams.roce_data_out.put(data)
+
+    def receive_payload(self):
+        """Wait for one RPC WRITE payload chunk on roceDataIn."""
+        chunk = yield self.streams.roce_data_in.get()
+        return chunk

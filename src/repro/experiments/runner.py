@@ -1,0 +1,128 @@
+"""Run every reproduced table and figure and print the results.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner fig7 fig8  # a selection
+    python -m repro.experiments.runner --fast     # reduced iteration counts
+
+The EXPERIMENTS.md paper-vs-measured records were produced by this
+runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from ..config import NIC_10G, NIC_100G
+from .ablations import (
+    datapath_width_ablation,
+    doorbell_batching_ablation,
+    interconnect_latency_ablation,
+    outstanding_reads_ablation,
+)
+from .common import ExperimentResult
+from .fig05_microbench import (
+    latency_experiment,
+    message_rate_experiment,
+    throughput_experiment,
+)
+from .fig07_linked_list import linked_list_experiment
+from .fig08_hash_table import hash_table_experiment
+from .fig09_consistency import (
+    consistency_latency_experiment,
+    failure_rate_experiment,
+)
+from .fig11_shuffle import shuffle_experiment
+from .fig13_hll import hll_cpu_experiment, hll_kernel_experiment
+from .table3_resources import table3_experiment, virtex7_experiment
+from .validation import flow_vs_detailed_experiment, stack_budget_experiment
+
+
+def _registry(fast: bool) -> Dict[str, Callable[[], ExperimentResult]]:
+    lat_iters = 15 if fast else 50
+    sweep_iters = 8 if fast else 30
+    return {
+        "fig5a": lambda: latency_experiment(NIC_10G, iterations=lat_iters),
+        "fig5b": lambda: throughput_experiment(NIC_10G),
+        "fig5c": lambda: message_rate_experiment(NIC_10G),
+        "fig7": lambda: linked_list_experiment(iterations=sweep_iters),
+        "fig8": lambda: hash_table_experiment(iterations=sweep_iters),
+        "fig9": lambda: consistency_latency_experiment(
+            iterations=sweep_iters),
+        "fig10": lambda: failure_rate_experiment(
+            iterations=max(sweep_iters, 20)),
+        "fig11": lambda: shuffle_experiment(),
+        "fig12a": lambda: latency_experiment(
+            NIC_100G, iterations=lat_iters, experiment_id="fig12a"),
+        "fig12b": lambda: throughput_experiment(
+            NIC_100G, experiment_id="fig12b"),
+        "fig12c": lambda: message_rate_experiment(
+            NIC_100G, payloads=[64, 256, 1024, 2048, 4096],
+            experiment_id="fig12c"),
+        "fig13a": lambda: hll_cpu_experiment(),
+        "fig13b": lambda: hll_kernel_experiment(),
+        "table3": table3_experiment,
+        "sec6.1": virtex7_experiment,
+        "ablation-interconnect": lambda: interconnect_latency_ablation(
+            iterations=max(sweep_iters, 8)),
+        "ablation-datapath": datapath_width_ablation,
+        "ablation-outstanding-reads": outstanding_reads_ablation,
+        "ablation-batching": doorbell_batching_ablation,
+        "validation-flow": flow_vs_detailed_experiment,
+        "validation-stack-budget": stack_budget_experiment,
+    }
+
+
+def run_experiments(names: List[str] = None, fast: bool = False,
+                    stream=None) -> List[ExperimentResult]:
+    stream = stream or sys.stdout
+    registry = _registry(fast)
+    selected = names or list(registry)
+    unknown = [n for n in selected if n not in registry]
+    if unknown:
+        raise SystemExit(f"unknown experiments: {unknown}; "
+                         f"available: {sorted(registry)}")
+    results = []
+    for name in selected:
+        started = time.time()
+        result = registry[name]()
+        elapsed = time.time() - started
+        results.append(result)
+        print(result.format_table(), file=stream)
+        print(f"({elapsed:.1f}s wall)\n", file=stream)
+    return results
+
+
+def write_markdown_report(results: List[ExperimentResult],
+                          path: str) -> None:
+    """Write all result tables as one markdown document."""
+    with open(path, "w") as handle:
+        handle.write("# StRoM reproduction — measured results\n\n")
+        for result in results:
+            handle.write(result.format_markdown())
+            handle.write("\n\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the StRoM evaluation tables and figures")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced iteration counts")
+    parser.add_argument("--markdown", metavar="FILE",
+                        help="also write the tables to FILE as markdown")
+    args = parser.parse_args(argv)
+    results = run_experiments(args.experiments or None, fast=args.fast)
+    if args.markdown:
+        write_markdown_report(results, args.markdown)
+        print(f"markdown report written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Table 3 and the Section 6.1 utilization numbers.
+
+Table 3 compares the 10 G and 100 G StRoM builds on the VCU118 (XCVU9P);
+Section 6.1 reports the Virtex-7 deployment (24 % logic; 9 % -> 20 % of
+on-chip memory going from 500 to 16,000 QPs).
+"""
+
+from __future__ import annotations
+
+from ..config import NIC_10G, NIC_100G, scaled_config
+from ..fpga import XC7VX690T, XCVU9P, estimate_nic_resources
+from .common import ExperimentResult
+
+
+def table3_experiment() -> ExperimentResult:
+    """Table 3: resource usage of StRoM for 500 QPs on the VCU118."""
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Resource usage of StRoM for 500 QPs on VCU118 (XCVU9P)",
+        columns=["build", "luts_k", "luts_pct", "bram", "bram_pct",
+                 "ffs_k", "ffs_pct"],
+        notes="paper: 10G = 92K/7.8% LUT, 181/8.4% BRAM, 115K/4.8% FF; "
+              "100G = 122K/10.3%, 402/18.6%, 214K/9.1%")
+    for config in (NIC_10G, NIC_100G):
+        usage = estimate_nic_resources(config, XCVU9P)
+        result.add_row(build=config.name,
+                       luts_k=usage.luts / 1000.0,
+                       luts_pct=100.0 * usage.lut_fraction,
+                       bram=usage.bram_36kb,
+                       bram_pct=100.0 * usage.bram_fraction,
+                       ffs_k=usage.flip_flops / 1000.0,
+                       ffs_pct=100.0 * usage.ff_fraction)
+    return result
+
+
+def virtex7_experiment() -> ExperimentResult:
+    """Section 6.1: the 10 G deployment on the Virtex-7, including the
+    500 -> 16,000 queue-pair scaling behaviour."""
+    result = ExperimentResult(
+        experiment_id="sec6.1",
+        title="StRoM 10G on the Virtex-7 XC7VX690T (QP scaling)",
+        columns=["queue_pairs", "logic_pct", "bram_pct", "logic_delta_pct"],
+        notes="paper: 24% logic; 9% BRAM at 500 QPs growing to 20% at "
+              "16,000 QPs with < 1% extra logic")
+    base = estimate_nic_resources(NIC_10G, XC7VX690T)
+    for qps in (500, 2000, 8000, 16000):
+        config = scaled_config(NIC_10G, num_queue_pairs=qps)
+        usage = estimate_nic_resources(config, XC7VX690T)
+        result.add_row(
+            queue_pairs=qps,
+            logic_pct=100.0 * usage.lut_fraction,
+            bram_pct=100.0 * usage.bram_fraction,
+            logic_delta_pct=100.0 * (usage.luts - base.luts)
+            / XC7VX690T.luts)
+    return result

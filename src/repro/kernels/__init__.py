@@ -1,0 +1,82 @@
+"""The StRoM kernels shipped with the paper.
+
+- :class:`GetKernel` — the Listing 2 example (fixed two-step KV GET).
+- :class:`TraversalKernel` — generic pointer chasing (Section 6.2).
+- :class:`ConsistencyKernel` — CRC64-verified reads (Section 6.3).
+- :class:`ShuffleKernel` — on-NIC radix partitioning (Section 6.4).
+- :class:`HllKernel` — streaming cardinality estimation (Section 7.2).
+
+Extension kernels for the other stream operations Section 1 motivates:
+
+- :class:`FilterKernel` — run-length-unknown data reduction (the
+  write-semantics argument of Section 5.1, made concrete).
+- :class:`AggregateKernel` — count/sum/min/max + histogram as a
+  by-product of reception.
+"""
+
+from .aggregate import (
+    AggregateKernel,
+    AggregateParams,
+    unpack_aggregate_record,
+)
+from .consistency import (
+    INCONSISTENT_MARKER,
+    ConsistencyKernel,
+    ConsistencyParams,
+    seeded_failure_injector,
+)
+from .filter import FilterKernel, FilterOp, FilterParams
+from .get import (
+    BUCKETS_PER_ENTRY,
+    GetKernel,
+    GetParams,
+    HT_ENTRY_BYTES,
+    pack_ht_entry,
+    unpack_ht_entry,
+)
+from .hll import HllKernel, HllParams
+from .shuffle import (
+    BUFFER_VALUES,
+    MAX_PARTITIONS,
+    ShuffleKernel,
+    ShuffleParams,
+    pack_descriptor,
+)
+from .traversal import (
+    ELEMENT_BYTES,
+    NOT_FOUND_MARKER,
+    PredicateOp,
+    TraversalKernel,
+    TraversalParams,
+)
+
+__all__ = [
+    "AggregateKernel",
+    "AggregateParams",
+    "BUCKETS_PER_ENTRY",
+    "BUFFER_VALUES",
+    "ConsistencyKernel",
+    "FilterKernel",
+    "FilterOp",
+    "FilterParams",
+    "unpack_aggregate_record",
+    "ConsistencyParams",
+    "ELEMENT_BYTES",
+    "GetKernel",
+    "GetParams",
+    "HT_ENTRY_BYTES",
+    "HllKernel",
+    "HllParams",
+    "INCONSISTENT_MARKER",
+    "MAX_PARTITIONS",
+    "NOT_FOUND_MARKER",
+    "PredicateOp",
+    "ShuffleKernel",
+    "ShuffleParams",
+    "TraversalKernel",
+    "TraversalParams",
+    "pack_descriptor",
+    "pack_ht_entry",
+    "seeded_failure_injector",
+    "unpack_ht_entry",
+]

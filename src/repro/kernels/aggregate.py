@@ -1,0 +1,131 @@
+"""An aggregation kernel: statistics gathered while data moves.
+
+Section 1 lists *aggregation* and *gathering of statistics* among the
+bump-in-the-wire operations StRoM targets (citing Ibex-style SQL
+offload and histograms-as-a-side-effect).  This kernel folds an RPC
+WRITE stream of 8 B tuples into running aggregates — count, sum, min,
+max — and an optional 2^k-bucket histogram over the tuples' low bits,
+while the data passes through to host memory untouched.
+
+Like HLL (Section 7.2), all state is small and on-chip, updates run at
+II=1, and the result is a by-product of reception: a transfer plus a
+GROUP-BY-ready digest for the price of the transfer alone.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.kernel import StromKernel
+from ..core.rpc import PREAMBLE_SIZE, RpcPreamble, pack_params
+
+TUPLE_BYTES = 8
+
+#: count, sum (mod 2^64), min, max.
+AGGREGATE_RECORD = struct.Struct("<QQQQ")
+MAX_HISTOGRAM_BITS = 10
+
+
+@dataclass(frozen=True)
+class AggregateParams:
+    """Session parameters for the aggregation kernel."""
+
+    response_vaddr: int    # 32 B aggregate record target
+    data_vaddr: int        # pass-through destination
+    histogram_vaddr: int   # per-bucket u64 counts (0 disables)
+    total_bytes: int
+    histogram_bits: int = 0
+
+    _BODY = struct.Struct("<QQQB")
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0 or self.total_bytes % TUPLE_BYTES:
+            raise ValueError("stream must be a positive multiple of 8 B")
+        if not 0 <= self.histogram_bits <= MAX_HISTOGRAM_BITS:
+            raise ValueError("histogram limited to 1024 on-chip buckets")
+
+    @property
+    def num_buckets(self) -> int:
+        return (1 << self.histogram_bits) if self.histogram_bits else 0
+
+    def pack(self) -> bytes:
+        body = self._BODY.pack(self.data_vaddr, self.histogram_vaddr,
+                               self.total_bytes, self.histogram_bits)
+        return pack_params(RpcPreamble(self.response_vaddr), body)
+
+    @classmethod
+    def unpack(cls, params: bytes) -> "AggregateParams":
+        preamble = RpcPreamble.unpack(params)
+        data_vaddr, histogram_vaddr, total, bits = cls._BODY.unpack_from(
+            params, PREAMBLE_SIZE)
+        return cls(response_vaddr=preamble.response_vaddr,
+                   data_vaddr=data_vaddr, histogram_vaddr=histogram_vaddr,
+                   total_bytes=total, histogram_bits=bits)
+
+
+def unpack_aggregate_record(data: bytes):
+    """(count, sum mod 2^64, minimum, maximum) from the 32 B record."""
+    return AGGREGATE_RECORD.unpack(data[:AGGREGATE_RECORD.size])
+
+
+class AggregateKernel(StromKernel):
+    """Running aggregates + histogram as a by-product of reception."""
+
+    name = "aggregate"
+
+    PIPELINE_CYCLES = 8
+    _MASK64 = (1 << 64) - 1
+
+    def __init__(self, env, config) -> None:
+        super().__init__(env, config)
+        self.sessions = 0
+        self.tuples_seen = 0
+
+    def run(self):
+        while True:
+            invocation = yield from self.next_invocation()
+            params = AggregateParams.unpack(invocation.params)
+            yield from self._session(invocation.qpn, params)
+
+    def _session(self, qpn: int, params: AggregateParams):
+        yield self.charge_cycles(self.PIPELINE_CYCLES)
+        count = 0
+        total = 0
+        minimum = self._MASK64
+        maximum = 0
+        histogram = (np.zeros(params.num_buckets, dtype=np.uint64)
+                     if params.num_buckets else None)
+        received = 0
+        while received < params.total_bytes:
+            _qpn, payload, _tail = yield from self.receive_payload()
+            offset = received
+            received += len(payload)
+            usable = len(payload) - len(payload) % TUPLE_BYTES
+            values = np.frombuffer(payload[:usable], dtype="<u8")
+            yield self.charge_streaming(len(payload))
+            if values.size:
+                count += int(values.size)
+                total = (total + int(values.sum(dtype=np.uint64)
+                                     .item())) & self._MASK64
+                minimum = min(minimum, int(values.min()))
+                maximum = max(maximum, int(values.max()))
+                if histogram is not None:
+                    buckets = (values
+                               & np.uint64(params.num_buckets - 1))
+                    np.add.at(histogram, buckets.astype(np.int64),
+                              np.uint64(1))
+            # Pass-through to host memory, like a plain write.
+            yield from self.dma_write(params.data_vaddr + offset, payload)
+
+        self.sessions += 1
+        self.tuples_seen += count
+        if count == 0:
+            minimum = 0
+        if histogram is not None:
+            yield from self.dma_write(params.histogram_vaddr,
+                                      histogram.tobytes())
+        record = AGGREGATE_RECORD.pack(count, total, minimum, maximum)
+        yield from self.send_to_network(qpn, params.response_vaddr, record)

@@ -1,0 +1,126 @@
+"""A filtering kernel: predicate evaluation as a bump in the wire.
+
+Section 1 motivates StRoM with stream operations such as *filtering*;
+Section 5.1 explains why such data-reduction kernels force the RPC verbs
+to use **write semantics**: "an RDMA READ operation requires the length
+of the response in advance ... this constraint would inhibit many
+operations, e.g. (data reduction), where the response size is determined
+at run-time."
+
+This kernel consumes an RPC WRITE stream of 8 B tuples, keeps only those
+satisfying a predicate against a constant, lands the survivors densely
+in host memory, and reports how many passed — a response size nobody
+could have known up front.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from ..core.kernel import StromKernel
+from ..core.rpc import PREAMBLE_SIZE, RpcPreamble, pack_params
+
+TUPLE_BYTES = 8
+
+COMPLETION_RECORD = struct.Struct("<QQ")  # tuples kept, tuples seen
+
+
+class FilterOp(IntEnum):
+    """Predicates evaluable in one pipeline stage."""
+
+    LESS_THAN = 0
+    GREATER_THAN = 1
+    EQUAL = 2
+    NOT_EQUAL = 3
+    MASK_MATCH = 4    # (value & operand) == operand
+
+    def apply(self, values: np.ndarray, operand: int) -> np.ndarray:
+        operand64 = np.uint64(operand)
+        if self is FilterOp.LESS_THAN:
+            return values < operand64
+        if self is FilterOp.GREATER_THAN:
+            return values > operand64
+        if self is FilterOp.EQUAL:
+            return values == operand64
+        if self is FilterOp.NOT_EQUAL:
+            return values != operand64
+        return (values & operand64) == operand64
+
+
+@dataclass(frozen=True)
+class FilterParams:
+    """Session parameters for the filtering kernel."""
+
+    response_vaddr: int    # completion record target (16 B)
+    output_vaddr: int      # where surviving tuples land, densely packed
+    total_bytes: int       # incoming stream length
+    op: FilterOp
+    operand: int
+
+    _BODY = struct.Struct("<QQBQ")
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0 or self.total_bytes % TUPLE_BYTES:
+            raise ValueError("stream must be a positive multiple of 8 B")
+
+    def pack(self) -> bytes:
+        body = self._BODY.pack(self.output_vaddr, self.total_bytes,
+                               int(self.op), self.operand)
+        return pack_params(RpcPreamble(self.response_vaddr), body)
+
+    @classmethod
+    def unpack(cls, params: bytes) -> "FilterParams":
+        preamble = RpcPreamble.unpack(params)
+        output_vaddr, total, op, operand = cls._BODY.unpack_from(
+            params, PREAMBLE_SIZE)
+        return cls(response_vaddr=preamble.response_vaddr,
+                   output_vaddr=output_vaddr, total_bytes=total,
+                   op=FilterOp(op), operand=operand)
+
+
+class FilterKernel(StromKernel):
+    """Run-length-unknown data reduction at line rate (II=1)."""
+
+    name = "filter"
+
+    PIPELINE_CYCLES = 6
+
+    def __init__(self, env, config) -> None:
+        super().__init__(env, config)
+        self.tuples_seen = 0
+        self.tuples_kept = 0
+
+    def run(self):
+        while True:
+            invocation = yield from self.next_invocation()
+            params = FilterParams.unpack(invocation.params)
+            yield from self._session(invocation.qpn, params)
+
+    def _session(self, qpn: int, params: FilterParams):
+        yield self.charge_cycles(self.PIPELINE_CYCLES)
+        received = 0
+        kept = 0
+        seen = 0
+        cursor = params.output_vaddr
+        while received < params.total_bytes:
+            _qpn, payload, _tail = yield from self.receive_payload()
+            received += len(payload)
+            usable = len(payload) - len(payload) % TUPLE_BYTES
+            values = np.frombuffer(payload[:usable], dtype="<u8")
+            # One value per cycle through the compare stage.
+            yield self.charge_streaming(len(payload))
+            survivors = values[params.op.apply(values, params.operand)]
+            seen += values.size
+            if survivors.size:
+                blob = survivors.tobytes()
+                yield from self.dma_write(cursor, blob)
+                cursor += len(blob)
+                kept += int(survivors.size)
+        self.tuples_seen += seen
+        self.tuples_kept += kept
+        record = COMPLETION_RECORD.pack(kept, seen)
+        yield from self.send_to_network(qpn, params.response_vaddr, record)

@@ -1,0 +1,95 @@
+"""The GET example kernel of Listing 2 (Section 5.2).
+
+A fixed two-step key-value GET: fetch a 64 B hash-table entry containing
+three buckets, match the lookup key against all three concurrently
+(the unrolled loop of Listing 4), then fetch the matching value and send
+it to the requester.  As in the paper's example, the kernel assumes the
+key is present (no miss handling — the traversal kernel is the
+full-featured variant).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..core.kernel import StromKernel
+from ..core.rpc import PREAMBLE_SIZE, RpcPreamble, pack_params
+
+#: One bucket: key (8 B) + value pointer (8 B) + value length (4 B).
+_BUCKET = struct.Struct("<QQI")
+BUCKETS_PER_ENTRY = 3
+HT_ENTRY_BYTES = 64
+
+
+@dataclass(frozen=True)
+class GetParams:
+    """Parameters of the GET kernel (getParams in Listing 3)."""
+
+    response_vaddr: int    # where to RDMA-WRITE the value
+    ht_entry_vaddr: int    # address of the hash-table entry
+    key: int               # lookup key
+
+    _BODY = struct.Struct("<QQ")
+
+    def pack(self) -> bytes:
+        body = self._BODY.pack(self.ht_entry_vaddr, self.key)
+        return pack_params(RpcPreamble(self.response_vaddr), body)
+
+    @classmethod
+    def unpack(cls, params: bytes) -> "GetParams":
+        preamble = RpcPreamble.unpack(params)
+        ht_entry_vaddr, key = cls._BODY.unpack_from(params, PREAMBLE_SIZE)
+        return cls(response_vaddr=preamble.response_vaddr,
+                   ht_entry_vaddr=ht_entry_vaddr, key=key)
+
+
+def pack_ht_entry(buckets) -> bytes:
+    """Serialize up to three (key, value_ptr, value_len) buckets into one
+    64 B hash-table entry."""
+    if len(buckets) > BUCKETS_PER_ENTRY:
+        raise ValueError("at most three buckets per entry")
+    blob = b"".join(_BUCKET.pack(*bucket) for bucket in buckets)
+    return blob.ljust(HT_ENTRY_BYTES, b"\x00")
+
+
+def unpack_ht_entry(data: bytes):
+    """Parse a 64 B entry back into three (key, value_ptr, value_len)."""
+    if len(data) < HT_ENTRY_BYTES:
+        raise ValueError("hash-table entry must be 64 B")
+    return [_BUCKET.unpack_from(data, i * _BUCKET.size)
+            for i in range(BUCKETS_PER_ENTRY)]
+
+
+class GetKernel(StromKernel):
+    """Listing 2: fetch_ht_entry -> parse_ht_entry -> value fetch -> TX."""
+
+    name = "get"
+
+    #: Fixed pipeline depth of the four DATAFLOW stages.
+    PIPELINE_CYCLES = 12
+
+    def run(self):
+        while True:
+            invocation = yield from self.next_invocation()
+            params = GetParams.unpack(invocation.params)
+
+            # Stage 1 (fetch_ht_entry): one 64 B DMA read.
+            yield self.charge_cycles(self.PIPELINE_CYCLES)
+            entry_bytes = yield from self.dma_read(params.ht_entry_vaddr,
+                                                   HT_ENTRY_BYTES)
+
+            # Stage 2 (parse_ht_entry): the three comparisons are
+            # unrolled in hardware -> constant time.
+            buckets = unpack_ht_entry(entry_bytes)
+            match = [key == params.key for key, _, _ in buckets]
+            # Listing 4's priority mux: bucket 1, else 2, else 0.
+            index = 1 if match[1] else (2 if match[2] else 0)
+            _, value_ptr, value_len = buckets[index]
+
+            # Stages 3+4 (merge_read_cmds / split_read_data): fetch the
+            # value and stream it to the requester.
+            value = yield from self.dma_read(value_ptr, value_len)
+            yield self.charge_streaming(len(value))
+            yield from self.send_to_network(invocation.qpn,
+                                            params.response_vaddr, value)

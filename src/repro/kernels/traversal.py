@@ -1,0 +1,182 @@
+"""The traversal kernel: pointer chasing over remote data structures
+(Section 6.2, Table 2).
+
+The key idea of StRoM: replace high-latency network round trips with PCIe
+round trips.  Starting from a root element the kernel extracts the key(s)
+indicated by ``key_mask``, compares them against the lookup key under
+``predicate_op``, and either fetches the value (absolute or key-relative
+value pointer) or follows the next-element pointer.  The parameter set
+makes it generic over linked lists, hash tables, trees, skip lists, ...
+
+Element constraints (as published): elements are at most 64 B, keys are
+8 B, fields are 4 B aligned.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..core.kernel import StromKernel
+from ..core.rpc import PREAMBLE_SIZE, RpcPreamble, pack_params
+
+ELEMENT_BYTES = 64
+KEY_BYTES = 8
+#: 4 B positions per element.
+POSITIONS = ELEMENT_BYTES // 4
+
+#: Written to the response address when the traversal terminates without
+#: a match (tail reached or pointer chain ended).
+NOT_FOUND_MARKER = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class PredicateOp(IntEnum):
+    """Key comparison operators of Table 2."""
+
+    EQUAL = 0
+    LESS_THAN = 1
+    GREATER_THAN = 2
+    NOT_EQUAL = 3
+
+    def evaluate(self, element_key: int, lookup_key: int) -> bool:
+        if self is PredicateOp.EQUAL:
+            return element_key == lookup_key
+        if self is PredicateOp.LESS_THAN:
+            return element_key < lookup_key
+        if self is PredicateOp.GREATER_THAN:
+            return element_key > lookup_key
+        return element_key != lookup_key
+
+
+@dataclass(frozen=True)
+class TraversalParams:
+    """Table 2, verbatim."""
+
+    response_vaddr: int          # requester-side response buffer
+    remote_address: int          # address of the initial element
+    value_size: int              # size of the final value to read
+    key: int                     # the lookup key
+    key_mask: int                # bit i set -> a key starts at position i
+    predicate_op: PredicateOp    # EQUAL / LESS_THAN / GREATER_THAN / NOT_EQUAL
+    value_ptr_position: int      # where the value pointer lives
+    is_relative_position: bool   # value ptr position relative to matched key?
+    next_element_ptr_position: int
+    next_element_ptr_valid: bool  # does the element have a next pointer?
+
+    _BODY = struct.Struct("<QIQHBBBB")
+
+    def __post_init__(self) -> None:
+        if self.value_size < 0:
+            raise ValueError("negative value size")
+        if not 0 <= self.key_mask < (1 << POSITIONS):
+            raise ValueError("key mask exceeds the 16 positions")
+        for position in (self.value_ptr_position,
+                         self.next_element_ptr_position):
+            if not 0 <= position < POSITIONS:
+                raise ValueError("field position out of element range")
+
+    def pack(self) -> bytes:
+        body = self._BODY.pack(
+            self.remote_address, self.value_size, self.key, self.key_mask,
+            int(self.predicate_op), self.value_ptr_position,
+            self.next_element_ptr_position,
+            (1 if self.is_relative_position else 0)
+            | (2 if self.next_element_ptr_valid else 0))
+        return pack_params(RpcPreamble(self.response_vaddr), body)
+
+    @classmethod
+    def unpack(cls, params: bytes) -> "TraversalParams":
+        preamble = RpcPreamble.unpack(params)
+        (remote_address, value_size, key, key_mask, predicate,
+         value_ptr_position, next_position, flags) = cls._BODY.unpack_from(
+            params, PREAMBLE_SIZE)
+        return cls(response_vaddr=preamble.response_vaddr,
+                   remote_address=remote_address, value_size=value_size,
+                   key=key, key_mask=key_mask,
+                   predicate_op=PredicateOp(predicate),
+                   value_ptr_position=value_ptr_position,
+                   is_relative_position=bool(flags & 1),
+                   next_element_ptr_position=next_position,
+                   next_element_ptr_valid=bool(flags & 2))
+
+
+def field_u64(element: bytes, position: int) -> int:
+    """Read the 8 B field starting at 4 B ``position``."""
+    offset = position * 4
+    return int.from_bytes(element[offset:offset + 8], "little")
+
+
+class TraversalKernel(StromKernel):
+    """Pointer chasing with the Table 2 parameter set."""
+
+    name = "traversal"
+
+    #: Parse/compare stage depth per element (unrolled comparisons).
+    PIPELINE_CYCLES = 10
+    #: Safety bound on hops (malformed structures must not hang the NIC).
+    MAX_HOPS = 4096
+
+    def __init__(self, env, config) -> None:
+        super().__init__(env, config)
+        self.elements_visited = 0
+        self.matches = 0
+        self.not_found = 0
+
+    def run(self):
+        while True:
+            invocation = yield from self.next_invocation()
+            params = TraversalParams.unpack(invocation.params)
+            yield from self._traverse(invocation.qpn, params)
+
+    def _traverse(self, qpn: int, params: TraversalParams):
+        address = params.remote_address
+        for _hop in range(self.MAX_HOPS):
+            element = yield from self.dma_read(address, ELEMENT_BYTES)
+            self.elements_visited += 1
+            yield self.charge_cycles(self.PIPELINE_CYCLES)
+
+            matched_position = self._match(element, params)
+            if matched_position is not None:
+                self.matches += 1
+                yield from self._send_value(qpn, params, element,
+                                            matched_position)
+                return
+            if not params.next_element_ptr_valid:
+                break
+            next_address = field_u64(element,
+                                     params.next_element_ptr_position)
+            if next_address == 0:
+                break  # tail reached
+            address = next_address
+        self.not_found += 1
+        yield from self.send_to_network(
+            qpn, params.response_vaddr,
+            NOT_FOUND_MARKER.to_bytes(8, "little"))
+
+    def _match(self, element: bytes, params: TraversalParams):
+        """All key positions are compared concurrently in hardware; the
+        first (lowest-position) match wins."""
+        mask = params.key_mask
+        position = 0
+        while mask:
+            if mask & 1:
+                key = field_u64(element, position)
+                if params.predicate_op.evaluate(key, params.key):
+                    return position
+            mask >>= 1
+            position += 1
+        return None
+
+    def _send_value(self, qpn: int, params: TraversalParams,
+                    element: bytes, matched_position: int):
+        if params.is_relative_position:
+            ptr_position = matched_position + params.value_ptr_position
+        else:
+            ptr_position = params.value_ptr_position
+        if ptr_position >= POSITIONS:
+            raise ValueError("value pointer position beyond element")
+        value_ptr = field_u64(element, ptr_position)
+        value = yield from self.dma_read(value_ptr, params.value_size)
+        yield self.charge_streaming(len(value))
+        yield from self.send_to_network(qpn, params.response_vaddr, value)

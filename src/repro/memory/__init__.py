@@ -1,0 +1,15 @@
+"""Host memory substrate: physical DRAM image, huge-page address spaces,
+and declarative record layouts shared by host software and NIC kernels."""
+
+from .address_space import AddressSpace, Region
+from .layout import FIELD_ALIGNMENT, Field, RecordLayout
+from .physical import PhysicalMemory
+
+__all__ = [
+    "AddressSpace",
+    "FIELD_ALIGNMENT",
+    "Field",
+    "PhysicalMemory",
+    "RecordLayout",
+    "Region",
+]

@@ -1,0 +1,96 @@
+"""Declarative fixed-size record layouts.
+
+The traversal kernel (Table 2) addresses fields inside data-structure
+elements by 4 B-aligned *positions*; the KV store and linked-list examples
+need matching byte layouts on both the host side (writing elements) and
+the kernel side (parsing DMA'd bytes).  :class:`RecordLayout` keeps those
+two sides consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: The traversal kernel assumes fields are 4 B aligned (Section 6.2).
+FIELD_ALIGNMENT = 4
+
+
+@dataclass(frozen=True)
+class Field:
+    """One fixed-width little-endian unsigned field."""
+
+    name: str
+    size: int  # bytes: 4 or 8
+
+    def __post_init__(self) -> None:
+        if self.size not in (4, 8):
+            raise ValueError("fields must be 4 or 8 bytes wide")
+
+
+class RecordLayout:
+    """An ordered sequence of fields packed at 4 B alignment.
+
+    ``positions`` are expressed in 4 B units, matching the traversal
+    kernel's keyMask / valuePtrPosition / nextElementPtrPosition
+    parameters.
+    """
+
+    def __init__(self, name: str, fields: List[Field],
+                 total_size: int = None) -> None:
+        self.name = name
+        self.fields = list(fields)
+        seen = set()
+        offset = 0
+        self._offsets: Dict[str, Tuple[int, int]] = {}
+        for f in self.fields:
+            if f.name in seen:
+                raise ValueError(f"duplicate field {f.name!r}")
+            seen.add(f.name)
+            self._offsets[f.name] = (offset, f.size)
+            offset += f.size
+        self.packed_size = offset
+        self.total_size = total_size if total_size is not None else offset
+        if self.total_size < self.packed_size:
+            raise ValueError("total_size smaller than packed fields")
+        if self.total_size % FIELD_ALIGNMENT:
+            raise ValueError("total_size must be 4 B aligned")
+
+    def offset_of(self, name: str) -> int:
+        """Byte offset of a field."""
+        return self._offsets[name][0]
+
+    def position_of(self, name: str) -> int:
+        """Offset of a field in 4 B units (traversal-kernel positions)."""
+        offset = self.offset_of(name)
+        if offset % FIELD_ALIGNMENT:
+            raise ValueError(f"field {name!r} is not 4 B aligned")
+        return offset // FIELD_ALIGNMENT
+
+    def pack(self, **values: int) -> bytes:
+        """Pack field values into the record's bytes (zero-padded)."""
+        unknown = set(values) - set(self._offsets)
+        if unknown:
+            raise ValueError(f"unknown fields: {sorted(unknown)}")
+        buffer = bytearray(self.total_size)
+        for name, value in values.items():
+            offset, size = self._offsets[name]
+            mask = (1 << (size * 8)) - 1
+            buffer[offset:offset + size] = (value & mask).to_bytes(
+                size, "little")
+        return bytes(buffer)
+
+    def unpack(self, data: bytes) -> Dict[str, int]:
+        """Parse a record's bytes back into a field dict."""
+        if len(data) < self.packed_size:
+            raise ValueError(
+                f"record too short: {len(data)} < {self.packed_size}")
+        out = {}
+        for f in self.fields:
+            offset, size = self._offsets[f.name]
+            out[f.name] = int.from_bytes(data[offset:offset + size], "little")
+        return out
+
+    def __repr__(self) -> str:
+        names = ", ".join(f.name for f in self.fields)
+        return f"<RecordLayout {self.name!r} [{names}] {self.total_size}B>"

@@ -1,0 +1,92 @@
+"""Sparse, byte-addressable physical memory.
+
+This is the DRAM image both the host CPU and the NIC's DMA engine operate
+on.  Pages materialize on first touch, so multi-gigabyte address spaces
+cost only what is actually written.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class PhysicalMemory:
+    """Byte-addressable memory with lazily materialized pages.
+
+    Reads of never-written memory return zero bytes, like freshly
+    zero-filled pages from the OS.
+    """
+
+    def __init__(self, page_bytes: int = 2 * 1024 * 1024,
+                 size_bytes: int = 32 * 1024 * 1024 * 1024) -> None:
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ValueError("page size must be a positive power of two")
+        if size_bytes <= 0 or size_bytes % page_bytes:
+            raise ValueError("memory size must be a multiple of the page size")
+        self.page_bytes = page_bytes
+        self.size_bytes = size_bytes
+        self._pages: Dict[int, bytearray] = {}
+
+    @property
+    def num_materialized_pages(self) -> int:
+        return len(self._pages)
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or length < 0:
+            raise ValueError("negative address or length")
+        if address + length > self.size_bytes:
+            raise IndexError(
+                f"access [{address:#x}, {address + length:#x}) beyond "
+                f"memory end {self.size_bytes:#x}")
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at physical ``address``."""
+        self._check_range(address, length)
+        out = bytearray()
+        remaining = length
+        cursor = address
+        while remaining > 0:
+            page_index, offset = divmod(cursor, self.page_bytes)
+            chunk = min(remaining, self.page_bytes - offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                out.extend(b"\x00" * chunk)
+            else:
+                out.extend(page[offset:offset + chunk])
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at physical ``address``."""
+        self._check_range(address, len(data))
+        cursor = address
+        view = memoryview(data)
+        while view:
+            page_index, offset = divmod(cursor, self.page_bytes)
+            chunk = min(len(view), self.page_bytes - offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(self.page_bytes)
+                self._pages[page_index] = page
+            page[offset:offset + chunk] = view[:chunk]
+            cursor += chunk
+            view = view[chunk:]
+
+    def fill(self, address: int, length: int, value: int = 0) -> None:
+        """Fill ``length`` bytes at ``address`` with ``value``."""
+        if not 0 <= value <= 255:
+            raise ValueError("fill value must be a byte")
+        self.write(address, bytes([value]) * length)
+
+    def read_u32(self, address: int) -> int:
+        return int.from_bytes(self.read(address, 4), "little")
+
+    def read_u64(self, address: int) -> int:
+        return int.from_bytes(self.read(address, 8), "little")
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.write(address, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def write_u64(self, address: int, value: int) -> None:
+        self.write(address, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))

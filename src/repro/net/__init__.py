@@ -1,0 +1,22 @@
+"""Network substrate: Ethernet/IPv4/UDP headers and the cable model."""
+
+from .headers import (
+    EthernetHeader,
+    Ipv4Header,
+    UdpHeader,
+    ip_str,
+    ipv4_checksum,
+    parse_ip,
+)
+from .link import Cable, LinkFaults
+
+__all__ = [
+    "Cable",
+    "EthernetHeader",
+    "Ipv4Header",
+    "LinkFaults",
+    "UdpHeader",
+    "ip_str",
+    "ipv4_checksum",
+    "parse_ip",
+]

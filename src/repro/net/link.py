@@ -1,0 +1,101 @@
+"""Point-to-point Ethernet cable model.
+
+The paper's testbed directly connects two StRoM NICs "to remove the
+potential noise introduced by a switch" (Section 6.1); this model does the
+same.  Each direction serializes frames at line rate (store-and-forward),
+then delivers after a fixed propagation/PHY delay, in order.  Loss and
+corruption injection exercise the retransmission path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..sim import Counter, Simulator, Stream, timebase
+
+
+@dataclass
+class LinkFaults:
+    """Fault-injection knobs for one cable direction."""
+
+    drop_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    #: Deliver the frame twice (stresses the responder's duplicate-PSN
+    #: handling and the requester's stale-ACK tolerance).
+    duplicate_probability: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for p in (self.drop_probability, self.corrupt_probability,
+                  self.duplicate_probability):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must be within [0, 1]")
+
+
+class Cable:
+    """A full-duplex cable between two NIC ports.
+
+    Endpoints interact through four streams: ``a_to_b_in`` / ``b_out`` and
+    vice versa.  Each direction is an independent simulation process, so
+    bidirectional traffic does not serialize against itself — matching the
+    stack's "independent processing on the two paths" design goal.
+    """
+
+    def __init__(self, env: Simulator, bits_per_second: float,
+                 propagation: int, faults: Optional[LinkFaults] = None,
+                 name: str = "cable") -> None:
+        if bits_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        if propagation < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.env = env
+        self.bits_per_second = bits_per_second
+        self.propagation = propagation
+        self.faults = faults or LinkFaults()
+        self.name = name
+        self._rng = random.Random(self.faults.seed)
+
+        self.a_tx: Stream = Stream(env, name=f"{name}.a_tx")
+        self.b_tx: Stream = Stream(env, name=f"{name}.b_tx")
+        self.a_rx: Stream = Stream(env, name=f"{name}.a_rx")
+        self.b_rx: Stream = Stream(env, name=f"{name}.b_rx")
+
+        self.frames_delivered = Counter(f"{name}.delivered")
+        self.frames_dropped = Counter(f"{name}.dropped")
+        self.frames_corrupted = Counter(f"{name}.corrupted")
+        self.frames_duplicated = Counter(f"{name}.duplicated")
+        self.bytes_on_wire = Counter(f"{name}.wire_bytes")
+
+        env.process(self._pump(self.a_tx, self.b_rx))
+        env.process(self._pump(self.b_tx, self.a_rx))
+
+    def _pump(self, tx: Stream, rx: Stream):
+        """Move packets from one endpoint's TX to the peer's RX."""
+        while True:
+            packet = yield tx.get()
+            wire_bytes = packet.wire_bytes
+            self.bytes_on_wire.add(wire_bytes)
+            # Serialization holds the directional wire (frames cannot
+            # overtake each other); propagation overlaps with the next
+            # frame's serialization.
+            yield self.env.timeout(
+                timebase.transfer_time_ps(wire_bytes, self.bits_per_second))
+            if self._rng.random() < self.faults.drop_probability:
+                self.frames_dropped.add()
+                continue
+            if self._rng.random() < self.faults.corrupt_probability:
+                self.frames_corrupted.add()
+                # Corrupt a copy: the sender's retransmit buffer keeps a
+                # reference to the original, clean packet.
+                packet = replace(packet, corrupted=True)
+            if self._rng.random() < self.faults.duplicate_probability:
+                self.frames_duplicated.add()
+                self.env.process(self._deliver(replace(packet), rx))
+            self.env.process(self._deliver(packet, rx))
+
+    def _deliver(self, packet, rx: Stream):
+        yield self.env.timeout(self.propagation)
+        self.frames_delivered.add()
+        yield rx.put(packet)

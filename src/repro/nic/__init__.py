@@ -1,0 +1,16 @@
+"""NIC assembly: TLB, DMA engine, MMIO command path, and the StRoM NIC."""
+
+from .dma import DmaCommand, DmaEngine, MmioPath, PCIE_TLP_OVERHEAD_BYTES
+from .nic import NicCommand, StromNic
+from .tlb import Tlb, TlbMissError
+
+__all__ = [
+    "DmaCommand",
+    "DmaEngine",
+    "MmioPath",
+    "NicCommand",
+    "PCIE_TLP_OVERHEAD_BYTES",
+    "StromNic",
+    "Tlb",
+    "TlbMissError",
+]

@@ -1,0 +1,684 @@
+"""The StRoM NIC: RoCE v2 stack + DMA engine + TLB + kernels (Figure 1).
+
+One :class:`StromNic` owns:
+
+- the receiving and transmitting data paths of the RoCE stack (Figure 2),
+  including PSN state machines, MSN/address tracking for multi-packet
+  writes, ACK/NAK generation and go-back-N retransmission;
+- the Multi-Queue tracking outstanding RDMA READs;
+- the TLB and DMA engine reaching host memory over PCIe;
+- the StRoM integration: RPC op-code matching, kernel stream adapters,
+  and arbitration of kernel-originated RDMA WRITEs into the TX path.
+
+Timing model: the cable paces frames at line rate; the TX path charges
+pipeline-fill plus per-word store-and-forward (the ICRC cost of §7.1);
+the RX path charges a fixed parse/PSN-check latency.  DMA operations pay
+PCIe latency plus occupancy of the shared PCIe bandwidth link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import NicConfig
+from ..core.kernel import MemCmd, RoceMeta, StromKernel
+from ..core.registry import KernelRegistry
+from ..core.rpc import RPC_ERROR_NO_KERNEL, RpcPreamble
+from ..memory import PhysicalMemory
+from ..net.link import Cable
+from ..roce.headers import AETH_NAK_PSN_SEQ_ERROR, Aeth, Bth, Reth
+from ..roce.multiqueue import MultiQueue, MultiQueueFullError
+from ..roce.opcodes import (
+    Opcode,
+    is_first,
+    is_last,
+    is_only,
+    is_read_response,
+    is_rpc_write,
+    is_write,
+)
+from ..roce.packet import RocePacket, make_ack
+from ..roce.packetizer import (
+    read_response_packet_count,
+    segment_read_response,
+    segment_rpc_write,
+    segment_write,
+)
+from ..roce.qp import PsnVerdict, QueuePairTable, psn_add, psn_distance
+from ..roce.retransmit import RetransmissionTimer
+from ..sim import Counter, Event, Resource, Simulator, Stream
+from .dma import DmaEngine
+from .tlb import Tlb
+
+
+#: Reserved QPN addressing the local host: kernel output RoCE metadata
+#: targeting this QPN is DMA-written to local memory instead of being
+#: sent over the network (local StRoM invocation, Sections 3.5/5.2).
+LOCAL_QPN = 0
+
+
+@dataclass
+class NicCommand:
+    """One host-issued command (a single AVX2 store's worth of params)."""
+
+    kind: str               # 'write' | 'read' | 'rpc' | 'rpc_write'
+                            # | 'local_rpc' | 'local_rpc_write'
+    qpn: int
+    laddr: int = 0          # payload source (write) / data target (read)
+    raddr: int = 0          # remote virtual address (write/read)
+    length: int = 0
+    rpc_op: int = 0         # RPC op-code (rpc / rpc_write)
+    params: bytes = b""     # inline RPC parameters (rpc)
+    payload_inline: Optional[bytes] = None  # kernel-originated payload
+    completion: Optional[Event] = None
+
+
+@dataclass
+class _UnackedEntry:
+    """Retransmit-buffer entry: one sent, not-yet-acknowledged packet."""
+
+    first_psn: int
+    last_psn: int
+    kind: str                # 'write' | 'rpc' | 'rpc_write' | 'read'
+    packet: RocePacket
+    completion: Optional[Event] = None
+    is_message_tail: bool = False
+
+
+@dataclass
+class _ReadContext:
+    """Requester-side state for one outstanding READ (Multi-Queue value)."""
+
+    laddr: int
+    length: int
+    first_psn: int
+    packet_count: int
+    completion: Optional[Event]
+    next_index: int = 0
+    bytes_received: int = 0
+
+
+class StromNic:
+    """One StRoM NIC attached to a host's physical memory and to a cable."""
+
+    def __init__(self, env: Simulator, config: NicConfig,
+                 memory: PhysicalMemory, ip: int,
+                 name: str = "nic") -> None:
+        self.env = env
+        self.config = config
+        self.memory = memory
+        self.ip = ip
+        self.name = name
+
+        from ..net.arp import ArpCache
+        self.arp = ArpCache(env, ip)
+        self.tlb = Tlb(config)
+        self.dma = DmaEngine(env, config, memory, self.tlb, name=f"{name}.dma")
+        self.qps = QueuePairTable(config.num_queue_pairs)
+        self.multiqueue = MultiQueue(config.num_queue_pairs,
+                                     config.max_outstanding_reads)
+        self.registry = KernelRegistry()
+        self.read_credits = Resource(env, config.max_outstanding_reads)
+        self.timer = RetransmissionTimer(env, config.retransmit_timeout,
+                                         self._on_retransmit_timeout)
+
+        # Per-QP completions waiting for ACKs: qpn -> ordered entries.
+        self._rpc_write_target: Dict[int, Optional[StromKernel]] = {}
+        self._nak_pending: Dict[int, bool] = {}
+        self._tx_gate: Event = Event(env)
+        self._tx_gate.succeed()
+        self._fetch_gate: Event = Event(env)
+        self._fetch_gate.succeed()
+        self._resp_gate: Event = Event(env)
+        self._resp_gate.succeed()
+
+        self._cable_tx: Optional[Stream] = None
+        self._cable_rx: Optional[Stream] = None
+
+        # Statistics
+        from .controller import Controller
+        self.controller = Controller(self)
+        #: Optional flight recorder (see repro.sim.trace.EventTrace).
+        self.trace = None
+
+        self.packets_sent = Counter(f"{name}.pkts_tx")
+        self.packets_received = Counter(f"{name}.pkts_rx")
+        self.packets_dropped = Counter(f"{name}.pkts_dropped")
+        self.acks_sent = Counter(f"{name}.acks_tx")
+        self.naks_sent = Counter(f"{name}.naks_tx")
+        self.retransmitted = Counter(f"{name}.retransmits")
+        self.duplicates = Counter(f"{name}.duplicates")
+        self.payload_bytes_sent = Counter(f"{name}.payload_tx")
+        self.payload_bytes_received = Counter(f"{name}.payload_rx")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, cable: Cable, side: str) -> None:
+        """Connect this NIC to one side ('a' or 'b') of a cable."""
+        if side == "a":
+            self._cable_tx, self._cable_rx = cable.a_tx, cable.a_rx
+        elif side == "b":
+            self._cable_tx, self._cable_rx = cable.b_tx, cable.b_rx
+        else:
+            raise ValueError("side must be 'a' or 'b'")
+        self.env.process(self._rx_loop())
+
+    def create_queue_pair(self, qpn: int, dest_qpn: int,
+                          dest_ip: int) -> None:
+        """Install one queue pair (driver/Controller path)."""
+        self.qps.create(qpn, dest_qpn, dest_ip)
+
+    def deploy_kernel(self, rpc_opcode: int, kernel: StromKernel,
+                      sequential_dma: bool = True) -> None:
+        """Deploy a StRoM kernel and start its stream adapters."""
+        kernel.sequential_dma = sequential_dma
+        self.registry.deploy(rpc_opcode, kernel)
+        self.env.process(self._kernel_dma_adapter(kernel))
+        self.env.process(self._kernel_tx_adapter(kernel))
+
+    # ------------------------------------------------------------------
+    # Host command entry point (called by the MMIO path)
+    # ------------------------------------------------------------------
+    def submit(self, command: NicCommand) -> None:
+        """Accept one command from the Controller."""
+        if command.kind == "read":
+            self.env.process(self._post_read(command))
+        elif command.kind in ("write", "rpc", "rpc_write"):
+            self._post_send(command)
+        elif command.kind == "local_rpc":
+            self.env.process(self._local_rpc(command))
+        elif command.kind == "local_rpc_write":
+            self.env.process(self._local_rpc_write(command))
+        else:
+            raise ValueError(f"unknown command kind {command.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Local StRoM invocation (Sections 3.5 / 5.2)
+    # ------------------------------------------------------------------
+    def _local_rpc(self, command: NicCommand):
+        """Invoke a kernel on this NIC directly: the Controller feeds the
+        QPN and parameters into the kernel streams without a network hop.
+        ``command.qpn`` selects where kernel *output* goes: LOCAL_QPN for
+        local memory, or a connected QP to use the kernel as a send-side
+        processor."""
+        kernel = self.registry.match(command.rpc_op)
+        if kernel is None:
+            raise KeyError(
+                f"no kernel deployed for RPC op-code {command.rpc_op:#x}")
+        yield self.env.timeout(
+            self.config.cycles(self.config.strom_arbitration_cycles))
+        yield kernel.streams.qpn_in.put(command.qpn)
+        yield kernel.streams.param_in.put(command.params)
+        if command.completion is not None:
+            command.completion.succeed(self.env.now)
+
+    def _local_rpc_write(self, command: NicCommand):
+        """Stream a local buffer through a kernel (send kernel): the
+        payload is fetched over PCIe and fed to roceDataIn in data-path
+        chunks, exactly as network RPC WRITE payload would arrive."""
+        kernel = self.registry.match(command.rpc_op)
+        if kernel is None:
+            raise KeyError(
+                f"no kernel deployed for RPC op-code {command.rpc_op:#x}")
+        segments = segment_rpc_write(command.length)
+        fetch_queue = Stream(self.env)
+        self.env.process(self.dma.read_stream(
+            command.laddr, [seg.length for seg in segments], fetch_queue))
+        for i, seg in enumerate(segments):
+            chunk = yield fetch_queue.get()
+            tail = i == len(segments) - 1
+            yield self.env.timeout(
+                self.config.cycles(self.config.strom_arbitration_cycles))
+            yield kernel.streams.roce_data_in.put(
+                (command.qpn, chunk, tail))
+        if command.completion is not None:
+            command.completion.succeed(self.env.now)
+
+    # ------------------------------------------------------------------
+    # TX data path
+    # ------------------------------------------------------------------
+    def _post_send(self, command: NicCommand) -> None:
+        qp = self.qps.get(command.qpn)
+        if command.kind == "write":
+            segments = segment_write(command.length)
+        elif command.kind == "rpc":
+            segments = None  # single RPC_PARAMS packet
+        else:
+            segments = segment_rpc_write(command.length)
+        count = 1 if segments is None else len(segments)
+        first_psn = qp.requester.allocate_psns(count)
+        fetch_queue: Optional[Stream] = None
+        if command.payload_inline is None \
+                and command.kind in ("write", "rpc_write") \
+                and command.length > 0:
+            # Streaming payload fetch.  Bursts are served in issue order
+            # by the PCIe host->card lanes (FIFO inside the DMA engine),
+            # while read latencies overlap between outstanding bursts.
+            fetch_queue = Stream(self.env)
+            self.env.process(self.dma.read_stream(
+                command.laddr,
+                [seg.length for seg in segments if seg.length > 0],
+                fetch_queue))
+        prev_gate, gate = self._tx_gate, Event(self.env)
+        self._tx_gate = gate
+        self.env.process(
+            self._send_message(command, qp, segments, first_psn,
+                               prev_gate, gate, fetch_queue))
+
+    def _send_message(self, command, qp, segments, first_psn,
+                      prev_gate, gate, fetch_queue=None):
+        """Emit the message's packets in order behind all previously
+        posted messages.  Memory-sourced payloads are fetched over PCIe
+        as a *stream* overlapping transmission (descriptor bypass)."""
+        payload = command.payload_inline
+        yield prev_gate
+
+        if command.kind == "rpc":
+            reth = Reth(vaddr=command.rpc_op, rkey=0,
+                        dma_length=len(command.params))
+            bth = Bth(opcode=Opcode.RPC_PARAMS, dest_qp=qp.dest_qpn,
+                      psn=first_psn, ack_request=True)
+            plan = [(RocePacket(src_ip=self.ip, dst_ip=qp.dest_ip,
+                                bth=bth, reth=reth,
+                                payload=command.params), True)]
+            plan_iter = iter(plan)
+            segments = [None]
+
+        for i, seg in enumerate(segments):
+            if command.kind == "rpc":
+                packet, tail = next(plan_iter)
+            else:
+                if fetch_queue is not None and seg.length > 0:
+                    chunk = yield fetch_queue.get()
+                elif payload is not None:
+                    chunk = payload[seg.offset:seg.offset + seg.length]
+                else:
+                    chunk = b""
+                reth = None
+                if seg.carries_reth:
+                    if command.kind == "rpc_write":
+                        reth = Reth(vaddr=command.rpc_op, rkey=0,
+                                    dma_length=command.length)
+                    else:
+                        reth = Reth(vaddr=command.raddr, rkey=0,
+                                    dma_length=command.length)
+                tail = is_last(seg.opcode) or is_only(seg.opcode)
+                bth = Bth(opcode=seg.opcode, dest_qp=qp.dest_qpn,
+                          psn=psn_add(first_psn, i), ack_request=tail)
+                packet = RocePacket(src_ip=self.ip, dst_ip=qp.dest_ip,
+                                    bth=bth, reth=reth, payload=chunk)
+            entry = _UnackedEntry(
+                first_psn=packet.bth.psn, last_psn=packet.bth.psn,
+                kind=command.kind, packet=packet,
+                completion=command.completion if tail else None,
+                is_message_tail=tail)
+            qp.requester.unacked.append(entry)
+            self.payload_bytes_sent.add(len(packet.payload))
+            # II=1 store-and-forward through the TX pipeline (ICRC).
+            yield self.env.timeout(
+                self.config.streaming_time(packet.l3_bytes))
+            self.env.process(self._tx_deliver(packet))
+        self.timer.arm(qp.qpn)
+        gate.succeed()
+
+    def _post_read(self, command: NicCommand):
+        yield self.read_credits.acquire()
+        qp = self.qps.get(command.qpn)
+        count = read_response_packet_count(command.length)
+        first_psn = qp.requester.allocate_psns(count)
+        context = _ReadContext(laddr=command.laddr, length=command.length,
+                               first_psn=first_psn, packet_count=count,
+                               completion=command.completion)
+        try:
+            self.multiqueue.push(qp.qpn, context)
+        except MultiQueueFullError:
+            # read_credits should prevent this; treat as fatal config error.
+            raise
+        reth = Reth(vaddr=command.raddr, rkey=0, dma_length=command.length)
+        bth = Bth(opcode=Opcode.READ_REQUEST, dest_qp=qp.dest_qpn,
+                  psn=first_psn, ack_request=True)
+        packet = RocePacket(src_ip=self.ip, dst_ip=qp.dest_ip,
+                            bth=bth, reth=reth)
+        entry = _UnackedEntry(first_psn=first_psn,
+                              last_psn=psn_add(first_psn, count - 1),
+                              kind="read", packet=packet)
+        prev_gate, gate = self._tx_gate, Event(self.env)
+        self._tx_gate = gate
+        yield prev_gate
+        qp.requester.unacked.append(entry)
+        yield self.env.timeout(self.config.streaming_time(packet.l3_bytes))
+        self.env.process(self._tx_deliver(packet))
+        self.timer.arm(qp.qpn)
+        gate.succeed()
+
+    def _tx_deliver(self, packet: RocePacket):
+        """Fixed TX pipeline latency, then hand the frame to the cable
+        (which paces at line rate)."""
+        yield self.env.timeout(self.config.cycles(
+            self.config.tx_pipeline_cycles
+            + self.config.strom_arbitration_cycles))
+        self.packets_sent.add()
+        if self.trace is not None:
+            self.trace.record(self.name, "tx",
+                              opcode=packet.bth.opcode.name,
+                              psn=packet.bth.psn,
+                              payload=len(packet.payload))
+        yield self._cable_tx.put(packet)
+
+    # ------------------------------------------------------------------
+    # RX data path
+    # ------------------------------------------------------------------
+    def _rx_loop(self):
+        while True:
+            packet = yield self._cable_rx.get()
+            self.env.process(self._handle_packet(packet))
+
+    def _handle_packet(self, packet: RocePacket):
+        yield self.env.timeout(
+            self.config.cycles(self.config.rx_pipeline_cycles))
+        self.packets_received.add()
+        if self.trace is not None:
+            self.trace.record(self.name, "rx",
+                              opcode=packet.bth.opcode.name,
+                              psn=packet.bth.psn,
+                              payload=len(packet.payload),
+                              corrupted=packet.corrupted)
+        if packet.corrupted:
+            # ICRC validation fails -> Packet Dropper discards silently;
+            # the requester's retransmission timer recovers.
+            self.packets_dropped.add()
+            return
+        if packet.bth.dest_qp not in self.qps:
+            self.packets_dropped.add()
+            return
+        qp = self.qps.get(packet.bth.dest_qp)
+        opcode = packet.bth.opcode
+        if opcode == Opcode.ACKNOWLEDGE:
+            self._handle_ack(qp, packet)
+        elif is_read_response(opcode):
+            yield from self._handle_read_response(qp, packet)
+        else:
+            yield from self._handle_request(qp, packet)
+
+    # ----------------------- responder side ---------------------------
+    def _handle_request(self, qp, packet: RocePacket):
+        responder = qp.responder
+        verdict = responder.classify(packet.bth.psn)
+        if verdict is PsnVerdict.OUT_OF_ORDER:
+            if not self._nak_pending.get(qp.qpn):
+                self._nak_pending[qp.qpn] = True
+                self._send_ack(qp, responder.expected_psn, responder.msn,
+                               syndrome=AETH_NAK_PSN_SEQ_ERROR)
+            self.packets_dropped.add()
+            return
+        if verdict is PsnVerdict.DUPLICATE:
+            self.duplicates.add()
+            opcode = packet.bth.opcode
+            if opcode == Opcode.READ_REQUEST:
+                # Duplicate reads are re-executed (idempotent).
+                yield from self._responder_read(qp, packet)
+            else:
+                self._send_ack(qp, packet.bth.psn, responder.msn)
+            return
+
+        self._nak_pending[qp.qpn] = False
+        opcode = packet.bth.opcode
+        if is_write(opcode):
+            yield from self._responder_write(qp, packet)
+        elif opcode == Opcode.READ_REQUEST:
+            count = read_response_packet_count(packet.reth.dma_length)
+            responder.expected_psn = psn_add(packet.bth.psn, count)
+            responder.msn = (responder.msn + 1) & 0xFFFFFF
+            yield from self._responder_read(qp, packet)
+        elif opcode == Opcode.RPC_PARAMS:
+            responder.expected_psn = psn_add(packet.bth.psn, 1)
+            responder.msn = (responder.msn + 1) & 0xFFFFFF
+            self._send_ack(qp, packet.bth.psn, responder.msn)
+            yield from self._dispatch_rpc(qp, packet)
+        elif is_rpc_write(opcode):
+            yield from self._responder_rpc_write(qp, packet)
+        else:
+            self.packets_dropped.add()
+
+    def _responder_write(self, qp, packet: RocePacket):
+        responder = qp.responder
+        responder.expected_psn = psn_add(packet.bth.psn, 1)
+        opcode = packet.bth.opcode
+        if is_first(opcode) or is_only(opcode):
+            responder.write_cursor = packet.reth.vaddr
+        cursor = responder.write_cursor
+        if cursor is None:
+            self.packets_dropped.add()
+            return
+        responder.write_cursor = cursor + len(packet.payload)
+        self.payload_bytes_received.add(len(packet.payload))
+        tail = is_last(opcode) or is_only(opcode)
+        if tail:
+            responder.msn = (responder.msn + 1) & 0xFFFFFF
+            responder.write_cursor = None
+            self._send_ack(qp, packet.bth.psn, responder.msn)
+        if packet.payload:
+            yield from self.dma.write(cursor, packet.payload)
+
+    def _responder_read(self, qp, packet: RocePacket):
+        """Serve one READ: stream the payload from host memory over PCIe
+        while emitting response packets (fetch overlaps transmit)."""
+        from ..roce.opcodes import carries_aeth
+        prev_gate, gate = self._resp_gate, Event(self.env)
+        self._resp_gate = gate
+        segments = segment_read_response(packet.reth.dma_length)
+        fetch_queue = Stream(self.env)
+        self.env.process(self.dma.read_stream(
+            packet.reth.vaddr, [seg.length for seg in segments],
+            fetch_queue))
+        yield prev_gate
+        for i, seg in enumerate(segments):
+            chunk = yield fetch_queue.get()
+            aeth = None
+            if carries_aeth(seg.opcode):
+                aeth = Aeth(syndrome=0, msn=qp.responder.msn)
+            bth = Bth(opcode=seg.opcode, dest_qp=qp.dest_qpn,
+                      psn=psn_add(packet.bth.psn, i))
+            response = RocePacket(src_ip=self.ip, dst_ip=qp.dest_ip,
+                                  bth=bth, aeth=aeth, payload=chunk)
+            yield self.env.timeout(
+                self.config.streaming_time(response.l3_bytes))
+            self.env.process(self._tx_deliver(response))
+        gate.succeed()
+
+    def _responder_rpc_write(self, qp, packet: RocePacket):
+        responder = qp.responder
+        responder.expected_psn = psn_add(packet.bth.psn, 1)
+        opcode = packet.bth.opcode
+        if is_first(opcode) or is_only(opcode):
+            kernel = self.registry.match(packet.reth.vaddr)
+            self._rpc_write_target[qp.qpn] = kernel
+        kernel = self._rpc_write_target.get(qp.qpn)
+        tail = is_last(opcode) or is_only(opcode)
+        if tail:
+            responder.msn = (responder.msn + 1) & 0xFFFFFF
+            self._send_ack(qp, packet.bth.psn, responder.msn)
+        self.payload_bytes_received.add(len(packet.payload))
+        if kernel is None:
+            self.packets_dropped.add()
+            return
+        # Arbitration into the kernel adds a few cycles (Section 5.1).
+        yield self.env.timeout(
+            self.config.cycles(self.config.strom_arbitration_cycles))
+        yield kernel.streams.roce_data_in.put(
+            (qp.qpn, packet.payload, tail))
+
+    def _dispatch_rpc(self, qp, packet: RocePacket):
+        rpc_opcode = packet.reth.vaddr
+        kernel = self.registry.match(rpc_opcode)
+        if kernel is not None:
+            yield self.env.timeout(
+                self.config.cycles(self.config.strom_arbitration_cycles))
+            yield kernel.streams.qpn_in.put(qp.qpn)
+            yield kernel.streams.param_in.put(packet.payload)
+            return
+        if self.registry.fallback is not None:
+            self.registry.fallbacks.add()
+            self.env.process(self.registry.fallback(
+                qp.qpn, rpc_opcode, packet.payload))
+            return
+        # No kernel, no fallback: write an error code back to the
+        # requesting node (Section 5.1).
+        try:
+            preamble = RpcPreamble.unpack(packet.payload)
+        except ValueError:
+            self.packets_dropped.add()
+            return
+        error = RPC_ERROR_NO_KERNEL.to_bytes(8, "little")
+        self._post_send(NicCommand(
+            kind="write", qpn=qp.qpn, raddr=preamble.response_vaddr,
+            length=len(error), payload_inline=error))
+
+    def _send_ack(self, qp, psn: int, msn: int, syndrome: int = 0) -> None:
+        ack = make_ack(src_ip=self.ip, dst_ip=qp.dest_ip,
+                       dest_qp=qp.dest_qpn, psn=psn, msn=msn,
+                       syndrome=syndrome)
+        if syndrome == AETH_NAK_PSN_SEQ_ERROR:
+            self.naks_sent.add()
+            if self.trace is not None:
+                self.trace.record(self.name, "nak", psn=psn, msn=msn)
+        else:
+            self.acks_sent.add()
+            if self.trace is not None:
+                self.trace.record(self.name, "ack", psn=psn, msn=msn)
+        self.env.process(self._tx_deliver(ack))
+
+    # ----------------------- requester side ---------------------------
+    def _handle_ack(self, qp, packet: RocePacket) -> None:
+        aeth = packet.aeth
+        requester = qp.requester
+        if aeth.is_nak:
+            self._go_back_n(qp, packet.bth.psn)
+            return
+        acked_psn = packet.bth.psn
+        while requester.unacked:
+            entry = requester.unacked[0]
+            if psn_distance(entry.last_psn, acked_psn) > (1 << 23):
+                break  # entry is beyond the acked PSN
+            if entry.kind == "read":
+                break  # reads complete via their responses only
+            requester.unacked.pop(0)
+            requester.oldest_unacked_psn = psn_add(entry.last_psn, 1)
+            if entry.completion is not None and not entry.completion.triggered:
+                entry.completion.succeed(self.env.now)
+        if requester.unacked:
+            self.timer.arm(qp.qpn)
+        else:
+            self.timer.disarm(qp.qpn)
+
+    def _handle_read_response(self, qp, packet: RocePacket):
+        if self.multiqueue.is_empty(qp.qpn):
+            self.packets_dropped.add()
+            return
+        context: _ReadContext = self.multiqueue.peek(qp.qpn)
+        expected = psn_add(context.first_psn, context.next_index)
+        if packet.bth.psn != expected:
+            self.packets_dropped.add()
+            return
+        context.next_index += 1
+        offset = context.bytes_received
+        context.bytes_received += len(packet.payload)
+        self.payload_bytes_received.add(len(packet.payload))
+        final = context.next_index >= context.packet_count
+        if final:
+            self.multiqueue.pop(qp.qpn)
+            self._release_read_entry(qp, context)
+        if packet.payload:
+            yield from self.dma.write(context.laddr + offset, packet.payload)
+        if final:
+            if context.completion is not None \
+                    and not context.completion.triggered:
+                context.completion.succeed(self.env.now)
+            self.read_credits.release()
+            if qp.requester.unacked:
+                self.timer.arm(qp.qpn)
+            else:
+                self.timer.disarm(qp.qpn)
+
+    def _release_read_entry(self, qp, context: _ReadContext) -> None:
+        requester = qp.requester
+        for i, entry in enumerate(requester.unacked):
+            if entry.kind == "read" and entry.first_psn == context.first_psn:
+                requester.unacked.pop(i)
+                return
+
+    # ----------------------- reliability -------------------------------
+    def _go_back_n(self, qp, from_psn: int) -> None:
+        """NAK handling: retransmit everything from ``from_psn`` on."""
+        self.env.process(self._retransmit_from(qp, from_psn))
+
+    def _on_retransmit_timeout(self, qpn: int):
+        qp = self.qps.get(qpn)
+        if not qp.requester.unacked:
+            return None
+        return self._retransmit_from(qp, qp.requester.unacked[0].first_psn)
+
+    def _retransmit_from(self, qp, from_psn: int):
+        entries = [e for e in qp.requester.unacked
+                   if psn_distance(from_psn, e.first_psn) < (1 << 23)
+                   or e.first_psn == from_psn]
+        if not entries:
+            return
+        for entry in entries:
+            if entry.kind == "read":
+                # Reset the response context; re-execution is idempotent.
+                if not self.multiqueue.is_empty(qp.qpn):
+                    context = self.multiqueue.peek(qp.qpn)
+                    if context.first_psn == entry.first_psn:
+                        context.next_index = 0
+                        context.bytes_received = 0
+            self.retransmitted.add()
+            if self.trace is not None:
+                self.trace.record(self.name, "retransmit",
+                                  psn=entry.first_psn, kind=entry.kind)
+            yield self.env.timeout(
+                self.config.streaming_time(entry.packet.l3_bytes))
+            self.env.process(self._tx_deliver(entry.packet))
+        self.timer.arm(qp.qpn)
+
+    # ------------------------------------------------------------------
+    # Kernel stream adapters (Figure 4 wiring)
+    # ------------------------------------------------------------------
+    def _kernel_dma_adapter(self, kernel: StromKernel):
+        """Serve the kernel's DMA command/data streams."""
+        sequential = getattr(kernel, "sequential_dma", True)
+        while True:
+            cmd: MemCmd = yield kernel.streams.dma_cmd_out.get()
+            if cmd.is_write:
+                data = yield kernel.streams.dma_data_out.get()
+                if len(data) != cmd.length:
+                    raise ValueError(
+                        f"kernel {kernel.name}: DMA write length mismatch "
+                        f"({len(data)} != {cmd.length})")
+                # Posted write: do not stall the kernel on completion.
+                self.env.process(
+                    self.dma.write(cmd.vaddr, data, sequential=sequential))
+            else:
+                data = yield from self.dma.read(cmd.vaddr, cmd.length,
+                                                sequential=sequential)
+                yield kernel.streams.dma_data_in.put(data)
+
+    def _kernel_tx_adapter(self, kernel: StromKernel):
+        """Turn the kernel's roceMetaOut/roceDataOut into RDMA WRITEs."""
+        while True:
+            meta: RoceMeta = yield kernel.streams.roce_meta_out.get()
+            data: bytes = yield kernel.streams.roce_data_out.get()
+            if len(data) != meta.length:
+                raise ValueError(
+                    f"kernel {kernel.name}: TX length mismatch "
+                    f"({len(data)} != {meta.length})")
+            if meta.qpn == LOCAL_QPN:
+                # Local invocation: the "response" lands in local memory.
+                self.env.process(
+                    self.dma.write(meta.target_vaddr, data))
+                continue
+            self._post_send(NicCommand(
+                kind="write", qpn=meta.qpn, raddr=meta.target_vaddr,
+                length=meta.length, payload_inline=data))

@@ -1,0 +1,80 @@
+"""The NIC's Translation Lookaside Buffer (Section 4.2).
+
+Each entry maps one 2 MB huge page to a 48-bit physical address; 16,384
+entries cover 32 GB of pinned host memory.  The TLB is populated once by
+the driver and never misses at run time — a miss is a configuration error.
+DMA commands that cross a huge-page boundary are split into multiple
+commands, none of which crosses a boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..config import NicConfig
+
+
+class TlbMissError(Exception):
+    """Access to a virtual page the driver never pinned."""
+
+
+class Tlb:
+    """Fixed-capacity virtual-page -> physical-address table."""
+
+    def __init__(self, config: NicConfig) -> None:
+        self.page_bytes = config.page_bytes
+        self.capacity = config.tlb_entries
+        self._entries: Dict[int, int] = {}
+        self.lookups = 0
+        self.splits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def addressable_bytes(self) -> int:
+        """Host memory reachable through the current entries."""
+        return len(self._entries) * self.page_bytes
+
+    def populate(self, vpn: int, physical_base: int) -> None:
+        """Install one entry (driver path via the Controller)."""
+        if len(self._entries) >= self.capacity and vpn not in self._entries:
+            raise ValueError(f"TLB full ({self.capacity} entries)")
+        if physical_base % self.page_bytes:
+            raise ValueError("physical base must be huge-page aligned")
+        if physical_base >= (1 << 48):
+            raise ValueError("physical address exceeds 48 bits")
+        self._entries[vpn] = physical_base
+
+    def populate_from(self, page_table: Dict[int, int]) -> None:
+        """Bulk-install the driver's vpn -> physical-base map."""
+        for vpn, base in page_table.items():
+            self.populate(vpn, base)
+
+    def translate(self, vaddr: int) -> int:
+        """Translate one virtual address; raises :class:`TlbMissError`."""
+        self.lookups += 1
+        vpn, offset = divmod(vaddr, self.page_bytes)
+        base = self._entries.get(vpn)
+        if base is None:
+            raise TlbMissError(f"no TLB entry for vaddr {vaddr:#x}")
+        return base + offset
+
+    def split_command(self, vaddr: int,
+                      length: int) -> Iterator[Tuple[int, int]]:
+        """Split a DMA command into (physical, length) pieces, none
+        crossing a 2 MB page boundary (Section 4.2)."""
+        if length <= 0:
+            raise ValueError("DMA length must be positive")
+        cursor = vaddr
+        remaining = length
+        first = True
+        while remaining > 0:
+            offset = cursor % self.page_bytes
+            chunk = min(remaining, self.page_bytes - offset)
+            if not first:
+                self.splits += 1
+            yield self.translate(cursor), chunk
+            cursor += chunk
+            remaining -= chunk
+            first = False

@@ -1,0 +1,132 @@
+"""The RoCE v2 packet: IP/UDP encapsulated IB packet with ICRC.
+
+One :class:`RocePacket` is the unit that travels over the simulated cable
+and through the RX/TX pipelines.  Packets serialize to real bytes
+(IP + UDP + BTH [+ RETH|AETH] + payload + ICRC) and parse back, so header
+bugs show up as test failures rather than silent model drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import config
+from ..net.headers import Ipv4Header, UdpHeader
+from .headers import Aeth, Bth, Reth, icrc32
+from .opcodes import Opcode, carries_aeth, carries_reth
+
+
+@dataclass
+class RocePacket:
+    """A single RoCE v2 datagram (the L3 view; Ethernet framing is added
+    by the link model as pure byte accounting)."""
+
+    src_ip: int
+    dst_ip: int
+    bth: Bth
+    reth: Optional[Reth] = None
+    aeth: Optional[Aeth] = None
+    payload: bytes = b""
+    #: Set by the link model when injected corruption breaks the ICRC.
+    corrupted: bool = False
+
+    def __post_init__(self) -> None:
+        if carries_reth(self.bth.opcode) and self.reth is None:
+            raise ValueError(
+                f"{self.bth.opcode.name} requires a RETH")
+        if carries_aeth(self.bth.opcode) and self.aeth is None:
+            raise ValueError(
+                f"{self.bth.opcode.name} requires an AETH")
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    @property
+    def transport_bytes(self) -> int:
+        """BTH + extension headers + payload + ICRC."""
+        size = Bth.SIZE + len(self.payload) + config.ICRC_BYTES
+        if self.reth is not None:
+            size += Reth.SIZE
+        if self.aeth is not None:
+            size += Aeth.SIZE
+        return size
+
+    @property
+    def l3_bytes(self) -> int:
+        """IP datagram size."""
+        return Ipv4Header.SIZE + UdpHeader.SIZE + self.transport_bytes
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the Ethernet wire incl. framing, preamble and IFG."""
+        return config.wire_bytes_for_frame(self.l3_bytes)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the IP datagram bytes (valid ICRC appended)."""
+        transport = self.bth.to_bytes()
+        if self.reth is not None:
+            transport += self.reth.to_bytes()
+        if self.aeth is not None:
+            transport += self.aeth.to_bytes()
+        transport += self.payload
+        crc = icrc32(transport)
+        if self.corrupted:
+            crc ^= 0xFFFFFFFF
+        transport += crc.to_bytes(4, "big")
+
+        udp = UdpHeader(src_port=config.ROCE_UDP_PORT,
+                        dst_port=config.ROCE_UDP_PORT,
+                        length=UdpHeader.SIZE + len(transport))
+        ip = Ipv4Header(src_ip=self.src_ip, dst_ip=self.dst_ip,
+                        total_length=Ipv4Header.SIZE + udp.length)
+        return ip.to_bytes() + udp.to_bytes() + transport
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RocePacket":
+        """Parse an IP datagram; raises ValueError on malformed input or
+        checksum/ICRC mismatch (the Packet Dropper path in hardware)."""
+        ip = Ipv4Header.from_bytes(data)
+        if ip.protocol != 17:
+            raise ValueError("not a UDP datagram")
+        offset = Ipv4Header.SIZE
+        udp = UdpHeader.from_bytes(data[offset:])
+        if udp.dst_port != config.ROCE_UDP_PORT:
+            raise ValueError(f"not RoCE v2 (UDP port {udp.dst_port})")
+        offset += UdpHeader.SIZE
+        transport = data[offset:offset + udp.length - UdpHeader.SIZE]
+        if len(transport) < Bth.SIZE + config.ICRC_BYTES:
+            raise ValueError("truncated transport section")
+
+        body, crc_bytes = transport[:-4], transport[-4:]
+        if icrc32(body) != int.from_bytes(crc_bytes, "big"):
+            raise ValueError("ICRC mismatch")
+
+        bth = Bth.from_bytes(body)
+        cursor = Bth.SIZE
+        reth = aeth = None
+        if carries_reth(bth.opcode):
+            reth = Reth.from_bytes(body[cursor:])
+            cursor += Reth.SIZE
+        if carries_aeth(bth.opcode):
+            aeth = Aeth.from_bytes(body[cursor:])
+            cursor += Aeth.SIZE
+        return cls(src_ip=ip.src_ip, dst_ip=ip.dst_ip, bth=bth,
+                   reth=reth, aeth=aeth, payload=body[cursor:])
+
+    def __repr__(self) -> str:
+        return (f"<RocePacket {self.bth.opcode.name} qp={self.bth.dest_qp} "
+                f"psn={self.bth.psn} payload={len(self.payload)}B>")
+
+
+def make_ack(src_ip: int, dst_ip: int, dest_qp: int, psn: int,
+             msn: int, syndrome: int = 0) -> RocePacket:
+    """Convenience constructor for ACK/NAK packets."""
+    return RocePacket(
+        src_ip=src_ip, dst_ip=dst_ip,
+        bth=Bth(opcode=Opcode.ACKNOWLEDGE, dest_qp=dest_qp, psn=psn),
+        aeth=Aeth(syndrome=syndrome, msn=msn),
+    )

@@ -1,0 +1,91 @@
+"""MTU segmentation of RDMA messages into packet sequences.
+
+A message larger than what fits in one MTU-sized frame is split into
+FIRST / MIDDLE* / LAST packets; a single-packet message uses the ONLY
+op-code.  The RETH (address + length) travels only in the first packet —
+which is why the MSN Table must remember the DMA cursor (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .. import config
+from .opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One packet's worth of a message."""
+
+    opcode: Opcode
+    offset: int          # byte offset of this segment's payload
+    length: int          # payload bytes in this packet
+    carries_reth: bool
+
+
+_WRITE_SET = (Opcode.WRITE_FIRST, Opcode.WRITE_MIDDLE,
+              Opcode.WRITE_LAST, Opcode.WRITE_ONLY)
+_READ_RESP_SET = (Opcode.READ_RESPONSE_FIRST, Opcode.READ_RESPONSE_MIDDLE,
+                  Opcode.READ_RESPONSE_LAST, Opcode.READ_RESPONSE_ONLY)
+_RPC_WRITE_SET = (Opcode.RPC_WRITE_FIRST, Opcode.RPC_WRITE_MIDDLE,
+                  Opcode.RPC_WRITE_LAST, Opcode.RPC_WRITE_ONLY)
+
+
+def _segment(length: int, first_capacity: int, rest_capacity: int,
+             opcode_set) -> List[Segment]:
+    first_op, middle_op, last_op, only_op = opcode_set
+    if length <= first_capacity:
+        return [Segment(opcode=only_op, offset=0, length=length,
+                        carries_reth=True)]
+    segments = [Segment(opcode=first_op, offset=0, length=first_capacity,
+                        carries_reth=True)]
+    offset = first_capacity
+    remaining = length - first_capacity
+    while remaining > rest_capacity:
+        segments.append(Segment(opcode=middle_op, offset=offset,
+                                length=rest_capacity, carries_reth=False))
+        offset += rest_capacity
+        remaining -= rest_capacity
+    segments.append(Segment(opcode=last_op, offset=offset, length=remaining,
+                            carries_reth=False))
+    return segments
+
+
+def segment_write(length: int) -> List[Segment]:
+    """Segments for an RDMA WRITE of ``length`` payload bytes."""
+    if length < 0:
+        raise ValueError("negative length")
+    if length == 0:
+        # Zero-length writes are legal (used as doorbells); one ONLY packet.
+        return [Segment(opcode=Opcode.WRITE_ONLY, offset=0, length=0,
+                        carries_reth=True)]
+    return _segment(length, config.MAX_PAYLOAD_WITH_RETH,
+                    config.MAX_PAYLOAD_NO_RETH, _WRITE_SET)
+
+
+def segment_read_response(length: int) -> List[Segment]:
+    """Segments for the response stream of an RDMA READ."""
+    if length <= 0:
+        raise ValueError("read responses carry at least one byte")
+    # Response packets never carry a RETH; FIRST/LAST/ONLY carry an AETH.
+    segments = _segment(length, config.MAX_PAYLOAD_NO_RETH,
+                        config.MAX_PAYLOAD_NO_RETH, _READ_RESP_SET)
+    return [Segment(opcode=s.opcode, offset=s.offset, length=s.length,
+                    carries_reth=False) for s in segments]
+
+
+def segment_rpc_write(length: int) -> List[Segment]:
+    """Segments for an RDMA RPC WRITE (payload forwarded to a kernel)."""
+    if length <= 0:
+        raise ValueError("RPC WRITE needs payload")
+    return _segment(length, config.MAX_PAYLOAD_WITH_RETH,
+                    config.MAX_PAYLOAD_NO_RETH, _RPC_WRITE_SET)
+
+
+def read_response_packet_count(length: int) -> int:
+    """Number of packets the responder will send for a READ of ``length``
+    bytes — the requester must reserve this many PSNs up front, which is
+    exactly why READ semantics require the length a priori (Section 5.1)."""
+    return len(segment_read_response(length))

@@ -1,0 +1,57 @@
+"""Retransmission timers, one per queue pair (Section 4.1).
+
+Hardware keeps an array of time intervals in on-chip memory and a module
+continuously decrements the active ones; the behavioural equivalent is a
+versioned one-shot timer per QP: re-arming bumps the version so stale
+expirations are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..sim import Simulator
+
+
+class RetransmissionTimer:
+    """Per-QP one-shot retransmission timers.
+
+    ``callback(qpn)`` fires in a fresh simulation process when a timer
+    armed for ``qpn`` expires without being re-armed or disarmed.
+    """
+
+    def __init__(self, env: Simulator, timeout: int,
+                 callback: Callable[[int], object]) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.env = env
+        self.timeout = timeout
+        self.callback = callback
+        self._versions: Dict[int, int] = {}
+        self._armed: Dict[int, bool] = {}
+        self.expirations = 0
+
+    def arm(self, qpn: int) -> None:
+        """(Re)start the timer for ``qpn``."""
+        version = self._versions.get(qpn, 0) + 1
+        self._versions[qpn] = version
+        self._armed[qpn] = True
+        self.env.process(self._countdown(qpn, version))
+
+    def disarm(self, qpn: int) -> None:
+        """Cancel the timer for ``qpn`` (no-op if not armed)."""
+        self._armed[qpn] = False
+        self._versions[qpn] = self._versions.get(qpn, 0) + 1
+
+    def is_armed(self, qpn: int) -> bool:
+        return self._armed.get(qpn, False)
+
+    def _countdown(self, qpn: int, version: int):
+        yield self.env.timeout(self.timeout)
+        if self._armed.get(qpn) and self._versions.get(qpn) == version:
+            self._armed[qpn] = False
+            self.expirations += 1
+            result = self.callback(qpn)
+            # Allow generator callbacks (processes) as well as plain calls.
+            if result is not None and hasattr(result, "send"):
+                self.env.process(result)

@@ -1,0 +1,48 @@
+"""Discrete-event simulation engine underpinning the StRoM model.
+
+Public surface:
+
+- :class:`Simulator` — the integer-picosecond event loop.
+- :class:`Event`, :class:`Process`, :class:`Timeout`, :class:`Interrupt` —
+  event primitives (processes are generators that ``yield`` events).
+- :class:`Stream` — bounded FIFO, the analogue of a Vivado-HLS stream.
+- :class:`Resource`, :class:`BandwidthLink` — contention primitives.
+- :mod:`repro.sim.timebase` — time-unit constants and converters.
+- :class:`LatencySample`, :class:`ThroughputMeter` — measurement helpers.
+"""
+
+from . import timebase
+from .channels import Stream
+from .core import SimulationError, Simulator
+from .events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
+from .resources import BandwidthLink, Resource
+from .stats import Counter, LatencySample, LatencySummary, ThroughputMeter, percentile
+from .timebase import MS, NS, PS, SEC, US
+from .trace import EventTrace, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthLink",
+    "Counter",
+    "Event",
+    "EventTrace",
+    "TraceRecord",
+    "Interrupt",
+    "LatencySample",
+    "LatencySummary",
+    "MS",
+    "NS",
+    "PS",
+    "Process",
+    "Resource",
+    "SEC",
+    "SimulationError",
+    "Simulator",
+    "Stream",
+    "ThroughputMeter",
+    "Timeout",
+    "US",
+    "percentile",
+    "timebase",
+]

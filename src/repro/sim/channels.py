@@ -1,0 +1,109 @@
+"""FIFO channels between processes.
+
+:class:`Stream` models a Vivado-HLS ``stream<T>`` / hardware FIFO: bounded
+capacity, blocking put when full, blocking get when empty, strict FIFO order.
+StRoM kernels (Listing 1 of the paper) communicate exclusively over such
+streams, so this is the main inter-module plumbing of the NIC model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+
+class Stream:
+    """A bounded FIFO connecting producer and consumer processes.
+
+    ``capacity=None`` means unbounded (puts never block).  ``capacity=n``
+    mirrors an n-deep hardware FIFO.
+    """
+
+    def __init__(self, env: "Simulator", capacity: Optional[int] = None,
+                 name: str = "") -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be at least 1 (or None)")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()  # events carrying .item
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Yieldable event that completes once ``item`` is in the FIFO."""
+        event = Event(self.env)
+        event.item = item
+        if self._getters and not self._items:
+            # Hand the item straight to the longest-waiting consumer.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif not self.is_full:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append(event)
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the FIFO is full."""
+        if self._getters and not self._items:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.is_full:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Yieldable event whose value is the next item."""
+        event = Event(self.env)
+        if self._items:
+            item = self._items.popleft()
+            event.succeed(item)
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None if empty (use :meth:`is_empty`
+        first when None is a legal item)."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._admit_waiting_putter()
+        return item
+
+    def peek(self) -> Any:
+        """The next item without consuming it; raises if empty."""
+        if not self._items:
+            raise LookupError(f"peek() on empty stream {self.name!r}")
+        return self._items[0]
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and not self.is_full:
+            putter = self._putters.popleft()
+            self._items.append(putter.item)
+            putter.succeed()
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<Stream {self.name!r} {len(self._items)}/{cap}>"

@@ -1,0 +1,135 @@
+"""The simulator core: an integer-picosecond event loop.
+
+Usage::
+
+    sim = Simulator()
+
+    def pinger():
+        yield sim.timeout(5 * US)
+        print("ping at", sim.now)
+
+    sim.process(pinger())
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, Process, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised when a failed event (e.g. a crashed process) has no waiters."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Events scheduled at the same timestamp are processed in scheduling
+    order (FIFO), which makes runs reproducible.
+    """
+
+    def __init__(self, start_time: int = 0) -> None:
+        self._now = int(start_time)
+        self._queue: List[Tuple[int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Time and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def schedule(self, event: Event, delay: int = 0) -> None:
+        """Queue ``event`` for processing ``delay`` picoseconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next queued event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event succeeding after ``delay`` picoseconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise RuntimeError("step() on an empty event queue")
+        self._now, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if (not event._ok and not callbacks
+                and not getattr(event, "_defused", False)
+                and not getattr(event, "_interrupt", False)):
+            raise SimulationError(
+                f"unhandled failure in {event!r}: {event._value!r}"
+            ) from event._value
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue empties or simulated time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError("cannot run until a time in the past")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_until_complete(self, process: Process,
+                           limit: Optional[int] = None) -> Any:
+        """Run until ``process`` terminates; return its value.
+
+        ``limit`` bounds the simulated time; exceeding it raises
+        :class:`SimulationError` (useful to catch deadlocked protocols in
+        tests).
+        """
+        process._defused = True  # we observe the outcome ourselves
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    "deadlock: event queue empty before process finished")
+            if limit is not None and self._queue[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit} ps exceeded at t={self._now} ps")
+            self.step()
+        if not process.ok:
+            raise process.value
+        return process.value

@@ -1,0 +1,238 @@
+"""Event primitives for the discrete-event engine.
+
+The design follows the classic simpy shape: an :class:`Event` carries a value
+(or an exception), may be *triggered* (scheduled on the event queue) and,
+once it is popped from the queue, is *processed* — at which point all its
+callbacks run.  :class:`Process` wraps a generator; the generator advances by
+yielding events and is resumed when the yielded event is processed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .core import Simulator
+
+#: Sentinel stored in ``Event._value`` before the event has a value.
+_PENDING = object()
+
+
+class Event:
+    """A condition that may happen at a point in simulated time.
+
+    Processes wait on events with ``yield event``.  Events succeed with a
+    value (:meth:`succeed`) or fail with an exception (:meth:`fail`); failed
+    events re-raise inside every waiting process.
+    """
+
+    def __init__(self, env: "Simulator") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value and scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is not yet triggered."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` picoseconds after its creation."""
+
+    def __init__(self, env: "Simulator", delay: int, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running generator; also an event that triggers when it terminates.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event is processed the generator resumes with the event's value (or the
+    event's exception is thrown into it).
+    """
+
+    def __init__(self, env: "Simulator",
+                 generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError("Process requires a generator")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process immediately at the current time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a terminated process")
+        if self._target is not None and not self._target.processed:
+            # Stop waiting on the current target.
+            try:
+                self._target.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+        poke = Event(self.env)
+        poke.callbacks.append(self._resume)
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        poke._interrupt = True  # do not treat as a normal failure
+        self.env.schedule(poke)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        target = self._generator.send(event._value)
+                    else:
+                        target = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._target = None
+                    self.succeed(stop.value)
+                    return
+                if not isinstance(target, Event):
+                    raise RuntimeError(
+                        f"process yielded a non-event: {target!r}")
+                if target.processed:
+                    # Already happened: resume immediately with its value.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._target = target
+                return
+        except BaseException as exc:
+            # The generator itself raised: the process fails.  If nobody is
+            # waiting on it, the simulator surfaces the error.
+            self._target = None
+            self._ok = False
+            self._value = exc
+            self.env.schedule(self)
+            return
+        finally:
+            self.env._active_process = None
+
+
+class AnyOf(Event):
+    """Succeeds when the first of ``events`` succeeds.
+
+    Its value is a dict mapping the already-triggered events to their values.
+    A failure of any constituent event fails the condition.
+    """
+
+    def __init__(self, env: "Simulator", events: List[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+                break
+            event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed({ev: ev._value for ev in self._events if ev.processed})
+
+
+class AllOf(Event):
+    """Succeeds when every one of ``events`` has succeeded."""
+
+    def __init__(self, env: "Simulator", events: List[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = 0
+        for event in self._events:
+            if event.processed:
+                if not event._ok:
+                    event._defused = True
+                    self.fail(event._value)
+                    return
+                continue
+            self._remaining += 1
+            event.callbacks.append(self._check)
+        if self._remaining == 0 and not self.triggered:
+            self.succeed({ev: ev._value for ev in self._events})
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({ev: ev._value for ev in self._events})

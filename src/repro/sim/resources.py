@@ -1,0 +1,114 @@
+"""Shared-resource primitives.
+
+:class:`Resource` is a counting semaphore with FIFO queueing, used for
+mutual exclusion (e.g. a single TX pipeline) or limited parallelism.
+
+:class:`BandwidthLink` serializes transfers over a shared link of fixed
+bandwidth: each transfer occupies the link for ``bytes * 8 / rate`` and
+transfers queue in FIFO order.  The PCIe link between the NIC and host
+memory is modelled this way, which is what makes the 100 G "PCIe ratio
+close to 1:1" effect of Section 7 emerge naturally.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Generator, Optional, Tuple
+
+from . import timebase
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+
+class Resource:
+    """Counting semaphore with FIFO discipline."""
+
+    def __init__(self, env: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Yieldable event granting one unit of the resource."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit; wakes the longest-waiting acquirer."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching acquire()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: int) -> Generator[Event, None, None]:
+        """Process helper: hold one unit for ``duration`` picoseconds."""
+        yield self.acquire()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()
+
+
+class BandwidthLink:
+    """A link of fixed bandwidth shared by FIFO-ordered transfers.
+
+    Transfers are serialized: a transfer of ``n`` bytes holds the link for
+    its serialization time.  ``per_transfer_overhead_bytes`` charges fixed
+    framing/TLP overhead per transfer.
+    """
+
+    def __init__(self, env: "Simulator", bits_per_second: float,
+                 per_transfer_overhead_bytes: int = 0,
+                 name: str = "") -> None:
+        if bits_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.bits_per_second = bits_per_second
+        self.per_transfer_overhead_bytes = per_transfer_overhead_bytes
+        self.name = name
+        self._mutex = Resource(env, capacity=1)
+        self.bytes_transferred = 0
+        self.busy_time = 0
+
+    def occupancy_ps(self, num_bytes: int) -> int:
+        """Serialization time of a transfer of ``num_bytes`` payload."""
+        total = num_bytes + self.per_transfer_overhead_bytes
+        return timebase.transfer_time_ps(total, self.bits_per_second)
+
+    def transfer(self, num_bytes: int) -> Generator[Event, None, None]:
+        """Process helper: occupy the link for one transfer of
+        ``num_bytes`` (FIFO with respect to concurrent transfers)."""
+        duration = self.occupancy_ps(num_bytes)
+        yield self._mutex.acquire()
+        try:
+            yield self.env.timeout(duration)
+            self.bytes_transferred += num_bytes
+            self.busy_time += duration
+        finally:
+            self._mutex.release()
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the link was busy."""
+        if self.env.now == 0:
+            return 0.0
+        return self.busy_time / self.env.now

@@ -1,0 +1,134 @@
+"""Measurement helpers: latency probes and percentile summaries.
+
+The paper reports median latency with 1st/99th-percentile whiskers
+(Figures 5, 7, 8, 9, 12).  :class:`LatencySample` collects individual
+measurements from repeated simulated operations and produces exactly those
+summary statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from . import timebase
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Linear-interpolation percentile of an already-sorted list."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return sorted_values[low]
+    weight = rank - low
+    return sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Median and whisker statistics of a latency sample, in microseconds."""
+
+    count: int
+    median_us: float
+    p01_us: float
+    p99_us: float
+    mean_us: float
+    min_us: float
+    max_us: float
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict form used by the experiment table printers."""
+        return {
+            "count": self.count,
+            "median_us": self.median_us,
+            "p01_us": self.p01_us,
+            "p99_us": self.p99_us,
+            "mean_us": self.mean_us,
+            "min_us": self.min_us,
+            "max_us": self.max_us,
+        }
+
+
+class LatencySample:
+    """Accumulates latency measurements (picoseconds) and summarizes them."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._values_ps: List[int] = []
+
+    def record(self, latency_ps: int) -> None:
+        if latency_ps < 0:
+            raise ValueError("negative latency")
+        self._values_ps.append(latency_ps)
+
+    def extend(self, latencies_ps: Iterable[int]) -> None:
+        for value in latencies_ps:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return len(self._values_ps)
+
+    def summary(self) -> LatencySummary:
+        if not self._values_ps:
+            raise ValueError(f"no measurements recorded for {self.name!r}")
+        values = sorted(timebase.to_micros(v) for v in self._values_ps)
+        return LatencySummary(
+            count=len(values),
+            median_us=percentile(values, 0.50),
+            p01_us=percentile(values, 0.01),
+            p99_us=percentile(values, 0.99),
+            mean_us=sum(values) / len(values),
+            min_us=values[0],
+            max_us=values[-1],
+        )
+
+
+class Counter:
+    """A monotonically increasing named counter (packets, bytes, retries)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name!r}={self.value}>"
+
+
+class ThroughputMeter:
+    """Tracks bytes moved over a simulated interval -> Gbit/s."""
+
+    def __init__(self) -> None:
+        self.bytes_total = 0
+        self.start_ps = 0
+        self.end_ps = 0
+
+    def start(self, now_ps: int) -> None:
+        self.start_ps = now_ps
+
+    def record_bytes(self, num_bytes: int, now_ps: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("negative byte count")
+        self.bytes_total += num_bytes
+        self.end_ps = max(self.end_ps, now_ps)
+
+    def gbit_per_second(self) -> float:
+        elapsed = self.end_ps - self.start_ps
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_total * 8 / timebase.to_seconds(elapsed) / 1e9

@@ -1,0 +1,93 @@
+"""Event tracing: a lightweight flight recorder for simulations.
+
+Attach an :class:`EventTrace` to a NIC (``nic.trace = EventTrace(env)``)
+and every packet transmission, reception, ack/nak, and retransmission is
+recorded with its timestamp.  Used by the debugging workflow and by
+tests that assert on protocol-level behaviour (e.g. "exactly one NAK was
+sent", "no retransmissions happened on a clean link").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from . import timebase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time_ps: int
+    source: str
+    event: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def time_us(self) -> float:
+        return timebase.to_micros(self.time_ps)
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in sorted(
+            self.details.items()))
+        return f"[{self.time_us:10.3f}us] {self.source:12s} " \
+               f"{self.event:12s} {fields}"
+
+
+class EventTrace:
+    """Bounded in-memory event recorder."""
+
+    def __init__(self, env: "Simulator", capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def record(self, source: str, event: str, **details: object) -> None:
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time_ps=self.env.now,
+                                        source=source, event=event,
+                                        details=details))
+
+    def filter(self, source: Optional[str] = None,
+               event: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given source and/or event name."""
+        out = self.records
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        if event is not None:
+            out = [r for r in out if r.event == event]
+        return list(out)
+
+    def count(self, source: Optional[str] = None,
+              event: Optional[str] = None) -> int:
+        return len(self.filter(source, event))
+
+    def summary(self) -> Dict[str, int]:
+        """Event-name histogram."""
+        histogram: Dict[str, int] = {}
+        for record in self.records:
+            histogram[record.event] = histogram.get(record.event, 0) + 1
+        return histogram
+
+    def dump(self, limit: int = 50) -> str:
+        """Printable tail of the trace."""
+        lines = [str(record) for record in self.records[-limit:]]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} records dropped)")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,207 @@
+"""Unit and property tests for CRC64, hashing, and HyperLogLog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algos import (
+    ChecksummedObject,
+    HyperLogLog,
+    crc64,
+    crc64_bitwise,
+    crc64_incremental,
+    exact_cardinality,
+    fnv1a64,
+    fnv1a64_int,
+    murmur64,
+    murmur64_array,
+    radix_hash,
+    radix_hash_array,
+)
+
+
+# ---------------------------------------------------------------------------
+# CRC64
+# ---------------------------------------------------------------------------
+
+def test_crc64_known_properties():
+    assert crc64(b"") == 0
+    assert crc64(b"123456789") != 0
+    assert crc64(b"abc") != crc64(b"abd")
+
+
+def test_crc64_detects_single_bit_flips():
+    data = bytearray(b"the quick brown fox jumps over the lazy dog")
+    reference = crc64(bytes(data))
+    for i in range(0, len(data), 7):
+        corrupted = bytearray(data)
+        corrupted[i] ^= 0x01
+        assert crc64(bytes(corrupted)) != reference
+
+
+@settings(max_examples=60)
+@given(data=st.binary(min_size=0, max_size=256))
+def test_crc64_table_matches_bitwise_reference(data):
+    assert crc64(data) == crc64_bitwise(data)
+
+
+@settings(max_examples=40)
+@given(data=st.binary(min_size=1, max_size=512),
+       split=st.integers(min_value=0, max_value=512))
+def test_crc64_incremental_equals_whole(data, split):
+    split = min(split, len(data))
+    assert crc64_incremental([data[:split], data[split:]]) == crc64(data)
+
+
+@settings(max_examples=40)
+@given(payload=st.binary(min_size=0, max_size=300))
+def test_checksummed_object_roundtrip(payload):
+    sealed = ChecksummedObject.seal(payload)
+    assert len(sealed) == ChecksummedObject.sealed_size(len(payload))
+    assert ChecksummedObject.verify(sealed)
+    assert ChecksummedObject.payload(sealed) == payload
+
+
+def test_checksummed_object_detects_corruption():
+    sealed = bytearray(ChecksummedObject.seal(b"hello world, strom"))
+    sealed[3] ^= 0xFF
+    assert not ChecksummedObject.verify(bytes(sealed))
+
+
+def test_checksummed_object_too_short():
+    assert not ChecksummedObject.verify(b"abc")
+    with pytest.raises(ValueError):
+        ChecksummedObject.payload(b"abc")
+
+
+# ---------------------------------------------------------------------------
+# Hashing
+# ---------------------------------------------------------------------------
+
+def test_radix_hash_takes_low_bits():
+    assert radix_hash(0b101101, 3) == 0b101
+    assert radix_hash(0xFFFF, 0) == 0
+    with pytest.raises(ValueError):
+        radix_hash(1, 65)
+
+
+def test_radix_hash_array_matches_scalar():
+    values = np.arange(1000, dtype=np.uint64) * np.uint64(2654435761)
+    bits = 10
+    vector = radix_hash_array(values, bits)
+    for v, h in zip(values[:50].tolist(), vector[:50].tolist()):
+        assert h == radix_hash(v, bits)
+
+
+def test_murmur64_is_bijective_sample():
+    seen = {murmur64(i) for i in range(10000)}
+    assert len(seen) == 10000
+
+
+@settings(max_examples=50)
+@given(value=st.integers(min_value=0, max_value=2**64 - 1))
+def test_murmur64_array_matches_scalar(value):
+    arr = np.array([value], dtype=np.uint64)
+    assert int(murmur64_array(arr)[0]) == murmur64(value)
+
+
+def test_fnv1a64_consistency():
+    assert fnv1a64_int(42) == fnv1a64((42).to_bytes(8, "little"))
+    assert fnv1a64(b"a") != fnv1a64(b"b")
+
+
+# ---------------------------------------------------------------------------
+# HyperLogLog
+# ---------------------------------------------------------------------------
+
+def test_hll_precision_validation():
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=3)
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=17)
+
+
+@pytest.mark.parametrize("cardinality", [100, 10_000, 1_000_000])
+def test_hll_estimate_within_error_bound(cardinality):
+    hll = HyperLogLog(precision=14)
+    values = np.arange(cardinality, dtype=np.uint64)
+    hll.add_array(values)
+    estimate = hll.cardinality()
+    tolerance = 5 * hll.standard_error  # 5 sigma
+    assert abs(estimate - cardinality) / cardinality < tolerance
+
+
+def test_hll_duplicates_do_not_inflate():
+    hll = HyperLogLog(precision=12)
+    values = np.arange(5000, dtype=np.uint64)
+    for _ in range(3):
+        hll.add_array(values)
+    estimate = hll.cardinality()
+    assert abs(estimate - 5000) / 5000 < 5 * hll.standard_error
+
+
+def test_hll_scalar_matches_array_updates():
+    a = HyperLogLog(precision=10)
+    b = HyperLogLog(precision=10)
+    values = [murmur64(i) ^ i for i in range(2000)]
+    for v in values:
+        a.add(v)
+    b.add_array(np.array(values, dtype=np.uint64))
+    assert np.array_equal(a.registers, b.registers)
+
+
+def test_hll_merge_equals_union():
+    left = HyperLogLog(precision=12)
+    right = HyperLogLog(precision=12)
+    both = HyperLogLog(precision=12)
+    lo = np.arange(0, 40_000, dtype=np.uint64)
+    hi = np.arange(30_000, 70_000, dtype=np.uint64)
+    left.add_array(lo)
+    right.add_array(hi)
+    both.add_array(np.concatenate([lo, hi]))
+    left.merge(right)
+    assert np.array_equal(left.registers, both.registers)
+
+
+def test_hll_merge_precision_mismatch():
+    with pytest.raises(ValueError):
+        HyperLogLog(12).merge(HyperLogLog(13))
+
+
+def test_hll_small_range_linear_counting():
+    hll = HyperLogLog(precision=14)
+    hll.add_array(np.arange(50, dtype=np.uint64))
+    estimate = hll.cardinality()
+    assert abs(estimate - 50) < 10  # linear counting is near-exact here
+
+
+def test_hll_register_serialization_roundtrip():
+    hll = HyperLogLog(precision=10)
+    hll.add_array(np.arange(10_000, dtype=np.uint64))
+    blob = hll.register_bytes()
+    restored = HyperLogLog.from_register_bytes(blob, precision=10)
+    assert restored.cardinality() == hll.cardinality()
+
+
+def test_hll_register_blob_size_checked():
+    with pytest.raises(ValueError):
+        HyperLogLog.from_register_bytes(b"\x00" * 5, precision=10)
+
+
+def test_hll_clear():
+    hll = HyperLogLog(precision=8)
+    hll.add_array(np.arange(1000, dtype=np.uint64))
+    hll.clear()
+    assert hll.cardinality() == 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_hll_estimate_property_random_sets(seed):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 2**63, size=20_000, dtype=np.uint64)
+    truth = exact_cardinality(values.tolist())
+    hll = HyperLogLog(precision=14)
+    hll.add_array(values)
+    assert abs(hll.cardinality() - truth) / truth < 5 * hll.standard_error

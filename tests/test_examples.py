@@ -1,0 +1,24 @@
+"""The examples must run end-to-end (they assert their own invariants)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "key_value_store.py",
+    "consistent_objects.py",
+    "distributed_shuffle.py",
+    "stream_analytics.py",
+    "remote_object_store.py",
+    "distributed_join.py",
+])
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "OK" in out

@@ -1,0 +1,137 @@
+"""Tests for the analytic flow model, including agreement with the
+detailed packet-level simulation on overlapping operating points."""
+
+import pytest
+
+from repro import config
+from repro.config import HOST_DEFAULT, NIC_10G, NIC_100G
+from repro.experiments import flowmodel, measure_write_throughput
+
+
+# ---------------------------------------------------------------------------
+# Ideal lines (pure framing arithmetic)
+# ---------------------------------------------------------------------------
+
+def test_ideal_peak_throughput_10g():
+    """The dotted line of Figure 5b tops out at ~9.4 Gbit/s (MTU 1500)."""
+    goodput = config.ideal_goodput_bps(1 << 20, 10e9)
+    assert 9.3e9 < goodput < 9.6e9
+
+
+def test_ideal_message_rate_64b_10g():
+    """Figure 5c's ideal line is just under 8 M msg/s at 64 B."""
+    rate = config.ideal_message_rate(64, 10e9)
+    assert 7e6 < rate < 8e6
+
+
+def test_wire_bytes_single_packet():
+    # 64 B payload + IP/UDP/BTH/RETH/ICRC(60) + Eth(18) + preamble(20)
+    assert config.wire_bytes_of_message(64) == 64 + 60 + 18 + 20
+
+
+def test_wire_bytes_segments_at_mtu():
+    one = config.wire_bytes_of_message(config.MAX_PAYLOAD_WITH_RETH)
+    two = config.wire_bytes_of_message(config.MAX_PAYLOAD_WITH_RETH + 1)
+    assert two > one + 80  # a second frame's worth of overhead appears
+
+
+def test_wire_bytes_validation():
+    with pytest.raises(ValueError):
+        config.wire_bytes_of_message(0)
+    with pytest.raises(ValueError):
+        config.ideal_goodput_bps(0, 10e9)
+
+
+# ---------------------------------------------------------------------------
+# Flow model structure
+# ---------------------------------------------------------------------------
+
+def test_write_throughput_wire_bound_at_10g():
+    for payload in (64, 1024, 65536):
+        point = flowmodel.write_throughput(NIC_10G, HOST_DEFAULT, payload)
+        assert point.bottleneck == "wire"
+        assert point.goodput_gbps <= point.ideal_goodput_gbps * 1.001
+
+
+def test_write_throughput_host_bound_at_100g_small():
+    point = flowmodel.write_throughput(NIC_100G, HOST_DEFAULT, 256)
+    assert point.bottleneck == "host-mmio"
+    assert point.message_rate_mops < point.ideal_message_rate_mops
+
+
+def test_crossover_below_2kb_at_100g():
+    """Section 7.1: messages smaller than 2 KB are message-rate limited."""
+    at_1k = flowmodel.write_throughput(NIC_100G, HOST_DEFAULT, 1024)
+    at_2k = flowmodel.write_throughput(NIC_100G, HOST_DEFAULT, 2048)
+    assert at_1k.bottleneck == "host-mmio"
+    assert at_2k.bottleneck == "wire"
+
+
+def test_read_throughput_never_exceeds_write():
+    for payload in (64, 512, 4096):
+        write = flowmodel.write_throughput(NIC_10G, HOST_DEFAULT, payload)
+        read = flowmodel.read_throughput(NIC_10G, HOST_DEFAULT, payload)
+        assert read.goodput_gbps <= write.goodput_gbps * 1.001
+
+
+def test_pcie_goodput_random_penalty():
+    seq = flowmodel.pcie_goodput_bps(NIC_10G, 4096, sequential=True)
+    rnd = flowmodel.pcie_goodput_bps(NIC_10G, 4096, sequential=False)
+    assert rnd == pytest.approx(seq * NIC_10G.pcie_random_access_factor)
+
+
+def test_shuffle_times_structure():
+    times = flowmodel.shuffle_times(NIC_10G, HOST_DEFAULT, 1 << 30)
+    assert times.write_s < times.strom_s < times.sw_write_s
+    # StRoM within a few percent of the plain write (Figure 11).
+    assert times.strom_s / times.write_s < 1.05
+    # Linear in input size.
+    half = flowmodel.shuffle_times(NIC_10G, HOST_DEFAULT, 1 << 29)
+    assert times.write_s == pytest.approx(2 * half.write_s, rel=0.01)
+
+
+def test_shuffle_at_100g_pcie_bound():
+    """Section 7: at 100 G the shuffle kernel's random access no longer
+    keeps up with the network — StRoM falls behind a plain write."""
+    times = flowmodel.shuffle_times(NIC_100G, HOST_DEFAULT, 1 << 30)
+    assert times.strom_s > times.write_s * 1.5
+
+
+def test_hll_kernel_no_overhead():
+    for payload in (256, 4096, 65536):
+        base = flowmodel.write_throughput(NIC_100G, HOST_DEFAULT, payload)
+        hll = flowmodel.hll_kernel_throughput(NIC_100G, HOST_DEFAULT,
+                                              payload)
+        assert hll.goodput_gbps == pytest.approx(base.goodput_gbps,
+                                                 rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Agreement with the detailed simulation
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("payload,messages", [(4096, 48), (65536, 12)])
+def test_flow_model_matches_detailed_sim_10g(payload, messages):
+    """The flow model must track the packet-level simulator within ~12%
+    on bulk write throughput (finite-run effects account for the gap)."""
+    detailed_gbps = measure_write_throughput(NIC_10G, HOST_DEFAULT,
+                                             payload_bytes=payload,
+                                             messages=messages)
+    flow_gbps = flowmodel.write_throughput(NIC_10G, HOST_DEFAULT,
+                                           payload).goodput_gbps
+    assert detailed_gbps == pytest.approx(flow_gbps, rel=0.12)
+
+
+def test_flow_model_matches_detailed_sim_100g():
+    detailed_gbps = measure_write_throughput(NIC_100G, HOST_DEFAULT,
+                                             payload_bytes=65536,
+                                             messages=24)
+    flow_gbps = flowmodel.write_throughput(NIC_100G, HOST_DEFAULT,
+                                           65536).goodput_gbps
+    assert detailed_gbps == pytest.approx(flow_gbps, rel=0.15)
+
+
+def test_host_message_rate_matches_mmio_cost():
+    rate = flowmodel.host_message_rate(HOST_DEFAULT)
+    # ~110 ns per AVX2 store (+2% slow path) -> ~8.6 M/s.
+    assert 8e6 < rate < 10e6

@@ -1,0 +1,424 @@
+"""Unit tests for RoCE protocol components: headers, op-codes,
+packetization, Multi-Queue, PSN state, and the retransmission timer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import config
+from repro.roce import (
+    Aeth,
+    Bth,
+    MultiQueue,
+    MultiQueueFullError,
+    Opcode,
+    PsnVerdict,
+    QueuePairTable,
+    RESERVED_STROM_OPCODES,
+    ResponderState,
+    RetransmissionTimer,
+    Reth,
+    RocePacket,
+    STROM_OPCODES,
+    carries_aeth,
+    carries_reth,
+    is_rpc,
+    is_write,
+    make_ack,
+    psn_add,
+    psn_distance,
+    read_response_packet_count,
+    segment_read_response,
+    segment_rpc_write,
+    segment_write,
+)
+from repro.sim import US, Simulator
+
+
+# ---------------------------------------------------------------------------
+# Table 1: the StRoM op-codes
+# ---------------------------------------------------------------------------
+
+def test_table1_opcode_values():
+    assert Opcode.RPC_PARAMS == 0b11000
+    assert Opcode.RPC_WRITE_FIRST == 0b11001
+    assert Opcode.RPC_WRITE_MIDDLE == 0b11010
+    assert Opcode.RPC_WRITE_LAST == 0b11011
+    assert Opcode.RPC_WRITE_ONLY == 0b11100
+
+
+def test_exactly_five_new_opcodes():
+    """Section 3.1: StRoM adds exactly five op-codes."""
+    assert len(STROM_OPCODES) == 5
+    assert RESERVED_STROM_OPCODES == {0b11101, 0b11110, 0b11111}
+    assert not (STROM_OPCODES & {Opcode(o) for o in ()})
+
+
+def test_opcode_predicates():
+    assert is_write(Opcode.WRITE_ONLY)
+    assert not is_write(Opcode.RPC_WRITE_ONLY)
+    assert is_rpc(Opcode.RPC_PARAMS)
+    assert carries_reth(Opcode.RPC_PARAMS)
+    assert carries_reth(Opcode.READ_REQUEST)
+    assert not carries_reth(Opcode.WRITE_MIDDLE)
+    assert carries_aeth(Opcode.ACKNOWLEDGE)
+    assert carries_aeth(Opcode.READ_RESPONSE_LAST)
+    assert not carries_aeth(Opcode.READ_RESPONSE_MIDDLE)
+
+
+# ---------------------------------------------------------------------------
+# Header serialization
+# ---------------------------------------------------------------------------
+
+def test_bth_roundtrip():
+    bth = Bth(opcode=Opcode.WRITE_ONLY, dest_qp=0x1234, psn=0xABCDE,
+              ack_request=True)
+    parsed = Bth.from_bytes(bth.to_bytes())
+    assert parsed.opcode == Opcode.WRITE_ONLY
+    assert parsed.dest_qp == 0x1234
+    assert parsed.psn == 0xABCDE
+    assert parsed.ack_request
+
+
+def test_bth_masks_wide_values():
+    bth = Bth(opcode=Opcode.WRITE_ONLY, dest_qp=0xFF_FFFFFF,
+              psn=0xFF_FFFFFF)
+    assert bth.dest_qp == 0xFFFFFF
+    assert bth.psn == 0xFFFFFF
+
+
+def test_reth_roundtrip():
+    reth = Reth(vaddr=0x7F0000001234, rkey=0xDEAD, dma_length=4096)
+    parsed = Reth.from_bytes(reth.to_bytes())
+    assert parsed == reth
+
+
+def test_aeth_roundtrip_and_flags():
+    ack = Aeth(syndrome=0, msn=42)
+    parsed = Aeth.from_bytes(ack.to_bytes())
+    assert parsed.msn == 42 and parsed.is_ack and not parsed.is_nak
+    nak = Aeth(syndrome=0x60, msn=7)
+    assert nak.is_nak and not nak.is_ack
+
+
+def test_packet_full_roundtrip():
+    packet = RocePacket(
+        src_ip=0x0A000001, dst_ip=0x0A000002,
+        bth=Bth(opcode=Opcode.WRITE_ONLY, dest_qp=3, psn=9),
+        reth=Reth(vaddr=0x1000, rkey=0, dma_length=100),
+        payload=b"z" * 100)
+    parsed = RocePacket.from_bytes(packet.to_bytes())
+    assert parsed.bth.psn == 9
+    assert parsed.reth.vaddr == 0x1000
+    assert parsed.payload == packet.payload
+    assert parsed.src_ip == packet.src_ip
+
+
+def test_packet_corruption_detected_on_parse():
+    packet = RocePacket(
+        src_ip=1, dst_ip=2,
+        bth=Bth(opcode=Opcode.WRITE_ONLY, dest_qp=3, psn=9),
+        reth=Reth(vaddr=0, rkey=0, dma_length=4),
+        payload=b"abcd", corrupted=True)
+    with pytest.raises(ValueError, match="ICRC"):
+        RocePacket.from_bytes(packet.to_bytes())
+
+
+def test_packet_requires_matching_headers():
+    with pytest.raises(ValueError):
+        RocePacket(src_ip=1, dst_ip=2,
+                   bth=Bth(opcode=Opcode.WRITE_ONLY, dest_qp=1, psn=0))
+    with pytest.raises(ValueError):
+        RocePacket(src_ip=1, dst_ip=2,
+                   bth=Bth(opcode=Opcode.ACKNOWLEDGE, dest_qp=1, psn=0))
+
+
+def test_ack_helper():
+    ack = make_ack(src_ip=1, dst_ip=2, dest_qp=5, psn=100, msn=10)
+    assert ack.aeth.is_ack
+    parsed = RocePacket.from_bytes(ack.to_bytes())
+    assert parsed.aeth.msn == 10
+
+
+def test_wire_bytes_includes_framing():
+    packet = make_ack(src_ip=1, dst_ip=2, dest_qp=5, psn=0, msn=0)
+    # ACK l3: 20 + 8 + 12 + 4 + 4 = 48; +Eth(14)+FCS(4) = 66 > 64 B min;
+    # +20 preamble/IFG = 86 on the wire.
+    assert packet.l3_bytes == 48
+    assert packet.wire_bytes == 86
+
+
+@settings(max_examples=40)
+@given(payload=st.binary(min_size=0, max_size=1024),
+       psn=st.integers(min_value=0, max_value=(1 << 24) - 1))
+def test_packet_roundtrip_property(payload, psn):
+    packet = RocePacket(
+        src_ip=0x0A000001, dst_ip=0x0A000002,
+        bth=Bth(opcode=Opcode.WRITE_ONLY, dest_qp=1, psn=psn),
+        reth=Reth(vaddr=0x2000, rkey=0, dma_length=len(payload)),
+        payload=payload)
+    parsed = RocePacket.from_bytes(packet.to_bytes())
+    assert parsed.payload == payload
+    assert parsed.bth.psn == psn
+
+
+# ---------------------------------------------------------------------------
+# Packetization
+# ---------------------------------------------------------------------------
+
+def test_segment_write_single_packet():
+    segments = segment_write(100)
+    assert len(segments) == 1
+    assert segments[0].opcode == Opcode.WRITE_ONLY
+    assert segments[0].carries_reth
+
+
+def test_segment_write_multi_packet():
+    size = config.MAX_PAYLOAD_WITH_RETH + 2 * config.MAX_PAYLOAD_NO_RETH + 5
+    segments = segment_write(size)
+    opcodes = [s.opcode for s in segments]
+    assert opcodes == [Opcode.WRITE_FIRST, Opcode.WRITE_MIDDLE,
+                       Opcode.WRITE_MIDDLE, Opcode.WRITE_LAST]
+    assert segments[0].carries_reth
+    assert not any(s.carries_reth for s in segments[1:])
+    assert sum(s.length for s in segments) == size
+
+
+def test_segment_write_zero_length():
+    segments = segment_write(0)
+    assert len(segments) == 1 and segments[0].length == 0
+
+
+def test_segment_rpc_write_opcodes():
+    size = config.MAX_PAYLOAD_WITH_RETH + 10
+    segments = segment_rpc_write(size)
+    assert segments[0].opcode == Opcode.RPC_WRITE_FIRST
+    assert segments[-1].opcode == Opcode.RPC_WRITE_LAST
+    single = segment_rpc_write(64)
+    assert single[0].opcode == Opcode.RPC_WRITE_ONLY
+
+
+def test_segment_read_response_no_reth():
+    segments = segment_read_response(10_000)
+    assert not any(s.carries_reth for s in segments)
+    assert segments[0].opcode == Opcode.READ_RESPONSE_FIRST
+    assert segments[-1].opcode == Opcode.READ_RESPONSE_LAST
+    assert read_response_packet_count(10_000) == len(segments)
+
+
+@settings(max_examples=60)
+@given(size=st.integers(min_value=1, max_value=1 << 20))
+def test_segmentation_covers_payload_exactly(size):
+    segments = segment_write(size)
+    assert sum(s.length for s in segments) == size
+    offsets = [s.offset for s in segments]
+    assert offsets == sorted(offsets)
+    # Contiguity: each segment starts where the previous ended.
+    cursor = 0
+    for s in segments:
+        assert s.offset == cursor
+        cursor += s.length
+    # Every payload fits its packet budget.
+    for i, s in enumerate(segments):
+        cap = config.MAX_PAYLOAD_WITH_RETH if i == 0 \
+            else config.MAX_PAYLOAD_NO_RETH
+        assert 0 < s.length <= cap or size == 0
+
+
+# ---------------------------------------------------------------------------
+# Multi-Queue (Section 4.1)
+# ---------------------------------------------------------------------------
+
+def test_multiqueue_fifo_per_queue():
+    mq = MultiQueue(num_queues=4, total_elements=8)
+    mq.push(0, "a")
+    mq.push(1, "x")
+    mq.push(0, "b")
+    assert mq.pop(0) == "a"
+    assert mq.pop(0) == "b"
+    assert mq.pop(1) == "x"
+
+
+def test_multiqueue_shared_pool_exhaustion():
+    mq = MultiQueue(num_queues=2, total_elements=3)
+    mq.push(0, 1)
+    mq.push(0, 2)
+    mq.push(1, 3)
+    with pytest.raises(MultiQueueFullError):
+        mq.push(1, 4)
+    assert mq.free_elements == 0
+    mq.pop(0)
+    mq.push(1, 4)  # freed element is reusable by any queue
+    assert mq.used_elements == 3
+
+
+def test_multiqueue_variable_lengths():
+    """'Each linked list has a variable length defined at runtime, but
+    the combined length of all linked lists is fixed.'"""
+    mq = MultiQueue(num_queues=3, total_elements=6)
+    for i in range(5):
+        mq.push(0, i)
+    mq.push(2, "z")
+    assert mq.length(0) == 5
+    assert mq.length(1) == 0
+    assert mq.length(2) == 1
+
+
+def test_multiqueue_empty_pop():
+    mq = MultiQueue(num_queues=1, total_elements=1)
+    with pytest.raises(LookupError):
+        mq.pop(0)
+    with pytest.raises(LookupError):
+        mq.peek(0)
+
+
+def test_multiqueue_peek_and_drain():
+    mq = MultiQueue(num_queues=2, total_elements=4)
+    mq.push(0, "p")
+    mq.push(0, "q")
+    assert mq.peek(0) == "p"
+    assert mq.drain(0) == ["p", "q"]
+    assert mq.is_empty(0)
+
+
+def test_multiqueue_bad_queue_index():
+    mq = MultiQueue(num_queues=2, total_elements=2)
+    with pytest.raises(IndexError):
+        mq.push(5, "v")
+
+
+@settings(max_examples=30)
+@given(ops=st.lists(st.tuples(st.integers(0, 3), st.booleans()),
+                    max_size=60))
+def test_multiqueue_matches_reference_deques(ops):
+    from collections import deque
+    mq = MultiQueue(num_queues=4, total_elements=16)
+    reference = [deque() for _ in range(4)]
+    counter = 0
+    for queue, is_push in ops:
+        if is_push:
+            if mq.free_elements == 0:
+                continue
+            mq.push(queue, counter)
+            reference[queue].append(counter)
+            counter += 1
+        else:
+            if not reference[queue]:
+                continue
+            assert mq.pop(queue) == reference[queue].popleft()
+    for q in range(4):
+        assert mq.length(q) == len(reference[q])
+
+
+# ---------------------------------------------------------------------------
+# PSN state
+# ---------------------------------------------------------------------------
+
+def test_psn_arithmetic_wraps():
+    assert psn_add(0xFFFFFF, 1) == 0
+    assert psn_distance(0xFFFFFF, 0) == 1
+    assert psn_distance(5, 5) == 0
+
+
+def test_responder_psn_classification():
+    responder = ResponderState(expected_psn=100)
+    assert responder.classify(100) is PsnVerdict.EXPECTED
+    assert responder.classify(99) is PsnVerdict.DUPLICATE
+    assert responder.classify(101) is PsnVerdict.OUT_OF_ORDER
+
+
+def test_responder_psn_classification_wraparound():
+    responder = ResponderState(expected_psn=0)
+    assert responder.classify(0xFFFFFF) is PsnVerdict.DUPLICATE
+    assert responder.classify(1) is PsnVerdict.OUT_OF_ORDER
+
+
+def test_qp_table_capacity():
+    table = QueuePairTable(capacity=2)
+    table.create(1, 10, 0xA)
+    table.create(2, 20, 0xB)
+    with pytest.raises(ValueError):
+        table.create(3, 30, 0xC)
+    with pytest.raises(ValueError):
+        table.create(1, 10, 0xA)
+    assert len(table) == 2
+    assert 1 in table and 3 not in table
+    with pytest.raises(KeyError):
+        table.get(99)
+
+
+def test_requester_psn_allocation():
+    table = QueuePairTable(capacity=1)
+    qp = table.create(1, 2, 0xA)
+    first = qp.requester.allocate_psns(3)
+    second = qp.requester.allocate_psns(1)
+    assert first == 0
+    assert second == 3
+    with pytest.raises(ValueError):
+        qp.requester.allocate_psns(0)
+
+
+# ---------------------------------------------------------------------------
+# Retransmission timer
+# ---------------------------------------------------------------------------
+
+def test_timer_fires_after_timeout():
+    env = Simulator()
+    fired = []
+    timer = RetransmissionTimer(env, timeout=10 * US,
+                                callback=lambda qpn: fired.append(
+                                    (qpn, env.now)))
+    timer.arm(1)
+    env.run()
+    assert fired == [(1, 10 * US)]
+    assert timer.expirations == 1
+
+
+def test_timer_disarm_prevents_firing():
+    env = Simulator()
+    fired = []
+    timer = RetransmissionTimer(env, timeout=10 * US,
+                                callback=lambda qpn: fired.append(qpn))
+    timer.arm(1)
+
+    def disarmer():
+        yield env.timeout(5 * US)
+        timer.disarm(1)
+
+    env.process(disarmer())
+    env.run()
+    assert fired == []
+
+
+def test_timer_rearm_extends_deadline():
+    env = Simulator()
+    fired = []
+    timer = RetransmissionTimer(env, timeout=10 * US,
+                                callback=lambda qpn: fired.append(env.now))
+    timer.arm(1)
+
+    def rearm():
+        yield env.timeout(8 * US)
+        timer.arm(1)
+
+    env.process(rearm())
+    env.run()
+    assert fired == [18 * US]
+
+
+def test_timer_per_qp_independence():
+    env = Simulator()
+    fired = []
+    timer = RetransmissionTimer(env, timeout=10 * US,
+                                callback=lambda qpn: fired.append(qpn))
+    timer.arm(1)
+    timer.arm(2)
+    timer.disarm(1)
+    env.run()
+    assert fired == [2]
+
+
+def test_timer_validation():
+    env = Simulator()
+    with pytest.raises(ValueError):
+        RetransmissionTimer(env, timeout=0, callback=lambda q: None)

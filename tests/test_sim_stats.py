@@ -1,0 +1,76 @@
+"""Unit tests for the measurement helpers."""
+
+import pytest
+
+from repro.sim import US, Counter, LatencySample, ThroughputMeter, percentile
+
+
+def test_percentile_interpolation():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 1.0) == 4.0
+    assert percentile(values, 0.5) == 2.5
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 0.99) == 7.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_latency_sample_summary():
+    sample = LatencySample("writes")
+    sample.extend([1 * US, 2 * US, 3 * US, 4 * US, 5 * US])
+    summary = sample.summary()
+    assert summary.count == 5
+    assert summary.median_us == 3.0
+    assert summary.min_us == 1.0
+    assert summary.max_us == 5.0
+    assert summary.mean_us == 3.0
+    assert summary.p01_us < summary.median_us < summary.p99_us
+
+
+def test_latency_summary_as_row():
+    sample = LatencySample()
+    sample.record(2 * US)
+    row = sample.summary().as_row()
+    assert row["count"] == 1
+    assert row["median_us"] == 2.0
+
+
+def test_latency_sample_rejects_negative():
+    sample = LatencySample()
+    with pytest.raises(ValueError):
+        sample.record(-1)
+
+
+def test_latency_sample_empty_summary():
+    with pytest.raises(ValueError):
+        LatencySample().summary()
+
+
+def test_counter():
+    counter = Counter("packets")
+    counter.add()
+    counter.add(4)
+    assert int(counter) == 5
+    with pytest.raises(ValueError):
+        counter.add(-1)
+
+
+def test_throughput_meter():
+    meter = ThroughputMeter()
+    meter.start(0)
+    # 1250 bytes over 1 us = 10 Gbit/s
+    meter.record_bytes(1250, 1 * US)
+    assert meter.gbit_per_second() == pytest.approx(10.0)
+
+
+def test_throughput_meter_no_time():
+    meter = ThroughputMeter()
+    assert meter.gbit_per_second() == 0.0

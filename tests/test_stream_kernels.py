@@ -1,0 +1,207 @@
+"""End-to-end tests for the extension stream kernels (filter and
+aggregate) — the Section 1 use cases beyond the four published kernels."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core import RpcOpcode
+from repro.host import build_fabric
+from repro.kernels import (
+    AggregateKernel,
+    AggregateParams,
+    FilterKernel,
+    FilterOp,
+    FilterParams,
+    unpack_aggregate_record,
+)
+from repro.sim import MS, Simulator
+
+
+def run_proc(env, gen, limit=5000 * MS):
+    return env.run_until_complete(env.process(gen), limit=limit)
+
+
+def make_filter_fabric():
+    env = Simulator()
+    fabric = build_fabric(env)
+    kernel = FilterKernel(env, fabric.server.nic.config)
+    fabric.server.nic.deploy_kernel(RpcOpcode.FILTER, kernel)
+    return env, fabric, kernel
+
+
+def stream_through(env, fabric, opcode, params, values):
+    src = fabric.client.alloc(values.size * 8, "src")
+    fabric.client.space.write(src.vaddr, values.tobytes())
+    response = fabric.client.alloc(4096, "resp")
+
+    def proc():
+        packed = params(response.vaddr).pack()
+        yield from fabric.client.post_rpc(fabric.client_qpn, opcode,
+                                          packed)
+        yield from fabric.client.post_rpc_write(fabric.client_qpn,
+                                                opcode, src.vaddr,
+                                                values.size * 8)
+        yield from fabric.client.wait_for_data(response.vaddr, 16)
+
+    run_proc(env, proc())
+    env.run()  # drain posted DMA writes
+    return response
+
+
+# ---------------------------------------------------------------------------
+# FilterKernel
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("op,operand", [
+    (FilterOp.LESS_THAN, 5000),
+    (FilterOp.GREATER_THAN, 5000),
+    (FilterOp.EQUAL, 7),
+    (FilterOp.NOT_EQUAL, 7),
+    (FilterOp.MASK_MATCH, 0b101),
+])
+def test_filter_kernel_matches_numpy(op, operand):
+    env, fabric, kernel = make_filter_fabric()
+    rng = np.random.default_rng(11)
+    values = rng.integers(0, 10_000, size=3000, dtype=np.uint64)
+    output = fabric.server.alloc(values.size * 8, "out")
+
+    response = stream_through(
+        env, fabric, RpcOpcode.FILTER,
+        lambda resp: FilterParams(response_vaddr=resp,
+                                  output_vaddr=output.vaddr,
+                                  total_bytes=values.size * 8,
+                                  op=op, operand=operand),
+        values)
+
+    kept, seen = struct.unpack(
+        "<QQ", fabric.client.space.read(response.vaddr, 16))
+    expected = values[op.apply(values, operand)]
+    assert seen == values.size
+    assert kept == expected.size
+    if expected.size:
+        got = np.frombuffer(
+            fabric.server.space.read(output.vaddr, expected.size * 8),
+            dtype="<u8")
+        assert np.array_equal(got, expected)  # order preserved, dense
+
+
+def test_filter_kernel_response_size_unknown_a_priori():
+    """The write-semantics rationale (Section 5.1): two sessions over
+    the same predicate produce different response sizes at run time."""
+    env, fabric, kernel = make_filter_fabric()
+    output = fabric.server.alloc(64 * 1024, "out")
+    for threshold, values in [
+        (100, np.arange(1000, dtype=np.uint64)),
+        (900, np.arange(1000, dtype=np.uint64)),
+    ]:
+        response = stream_through(
+            env, fabric, RpcOpcode.FILTER,
+            lambda resp, t=threshold: FilterParams(
+                response_vaddr=resp, output_vaddr=output.vaddr,
+                total_bytes=8000, op=FilterOp.LESS_THAN, operand=t),
+            values)
+        kept, _ = struct.unpack(
+            "<QQ", fabric.client.space.read(response.vaddr, 16))
+        assert kept == threshold
+    assert kernel.tuples_seen == 2000
+    assert kernel.tuples_kept == 1000
+
+
+def test_filter_params_validation():
+    with pytest.raises(ValueError):
+        FilterParams(response_vaddr=0, output_vaddr=0, total_bytes=7,
+                     op=FilterOp.EQUAL, operand=0)
+
+
+def test_filter_params_roundtrip():
+    params = FilterParams(response_vaddr=1, output_vaddr=2,
+                          total_bytes=64, op=FilterOp.MASK_MATCH,
+                          operand=0xFF)
+    assert FilterParams.unpack(params.pack()) == params
+
+
+# ---------------------------------------------------------------------------
+# AggregateKernel
+# ---------------------------------------------------------------------------
+
+def make_aggregate_fabric():
+    env = Simulator()
+    fabric = build_fabric(env)
+    kernel = AggregateKernel(env, fabric.server.nic.config)
+    fabric.server.nic.deploy_kernel(RpcOpcode.AGGREGATE, kernel)
+    return env, fabric, kernel
+
+
+def test_aggregate_kernel_statistics():
+    env, fabric, kernel = make_aggregate_fabric()
+    rng = np.random.default_rng(12)
+    values = rng.integers(0, 1 << 32, size=4000, dtype=np.uint64)
+    landing = fabric.server.alloc(values.size * 8, "landing")
+    histogram = fabric.server.alloc(8 * 16, "hist")
+
+    response = stream_through(
+        env, fabric, RpcOpcode.AGGREGATE,
+        lambda resp: AggregateParams(response_vaddr=resp,
+                                     data_vaddr=landing.vaddr,
+                                     histogram_vaddr=histogram.vaddr,
+                                     total_bytes=values.size * 8,
+                                     histogram_bits=4),
+        values)
+
+    count, total, minimum, maximum = unpack_aggregate_record(
+        fabric.client.space.read(response.vaddr, 32))
+    assert count == values.size
+    assert total == int(values.sum(dtype=np.uint64).item())
+    assert minimum == int(values.min())
+    assert maximum == int(values.max())
+
+    # Pass-through data landed intact (aggregation is a by-product).
+    assert fabric.server.space.read(landing.vaddr, values.size * 8) \
+        == values.tobytes()
+
+    # Histogram over the low 4 bits matches numpy.
+    got = np.frombuffer(
+        fabric.server.space.read(histogram.vaddr, 8 * 16), dtype="<u8")
+    expected = np.bincount((values & np.uint64(15)).astype(np.int64),
+                           minlength=16).astype(np.uint64)
+    assert np.array_equal(got, expected)
+    assert kernel.sessions == 1
+
+
+def test_aggregate_without_histogram():
+    env, fabric, _kernel = make_aggregate_fabric()
+    values = np.array([3, 1, 4, 1, 5], dtype=np.uint64).repeat(200)
+    landing = fabric.server.alloc(values.size * 8, "landing")
+
+    response = stream_through(
+        env, fabric, RpcOpcode.AGGREGATE,
+        lambda resp: AggregateParams(response_vaddr=resp,
+                                     data_vaddr=landing.vaddr,
+                                     histogram_vaddr=0,
+                                     total_bytes=values.size * 8,
+                                     histogram_bits=0),
+        values)
+
+    count, total, minimum, maximum = unpack_aggregate_record(
+        fabric.client.space.read(response.vaddr, 32))
+    assert (count, minimum, maximum) == (1000, 1, 5)
+    assert total == int(values.sum(dtype=np.uint64).item())
+
+
+def test_aggregate_params_validation():
+    with pytest.raises(ValueError):
+        AggregateParams(response_vaddr=0, data_vaddr=0,
+                        histogram_vaddr=0, total_bytes=8,
+                        histogram_bits=11)
+    with pytest.raises(ValueError):
+        AggregateParams(response_vaddr=0, data_vaddr=0,
+                        histogram_vaddr=0, total_bytes=0)
+
+
+def test_aggregate_params_roundtrip():
+    params = AggregateParams(response_vaddr=5, data_vaddr=6,
+                             histogram_vaddr=7, total_bytes=80,
+                             histogram_bits=3)
+    assert AggregateParams.unpack(params.pack()) == params
