@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Events/s microbenchmark for the discrete-event engine.
+
+Standalone script (not a pytest-benchmark file): CI runs it directly so a
+regression in the engine fast paths fails the build even when simulated
+results stay correct.
+
+Scenarios
+---------
+``timeout_loop``
+    One process yielding N timeouts: pure heap + generator dispatch cost.
+``stream_pingpong``
+    Producer ``put`` + 1 ps timeout, consumer ``get`` over a capacity-8
+    Stream: the per-item hand-off pattern every pipeline stage uses.
+``stream_bulk``
+    The same N items moved as 64-item bursts with ``put_many`` /
+    ``get_many`` and one timeout per burst — the word-batched accounting
+    the II=1 pipeline argument licenses (one timeout of ``n * cycle_ps``
+    stands in for n per-word events at identical timestamps).
+
+Usage::
+
+    python benchmarks/bench_engine.py             # full measurement
+    python benchmarks/bench_engine.py --smoke     # quick run + regression
+                                                  # check vs the baseline
+    python benchmarks/bench_engine.py --update-baseline
+
+The checked-in baseline (``bench_engine_baseline.json``) records the
+rates measured when the fast-path engine landed, plus the rate of the
+pre-fast-path ("seed") engine on ``stream_pingpong`` for the speedup
+column.  ``--smoke`` exits non-zero if any scenario drops more than
+``--threshold`` (default 30 %) below its baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim.channels import Stream  # noqa: E402
+from repro.sim.core import Simulator  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "bench_engine_baseline.json")
+BURST = 64
+
+
+def timeout_loop(n: int) -> float:
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(n):
+            yield sim.timeout(1)
+
+    proc = sim.process(ticker())
+    start = time.perf_counter()
+    sim.run_until_complete(proc)
+    return n / (time.perf_counter() - start)
+
+
+def stream_pingpong(n: int) -> float:
+    sim = Simulator()
+    stream = Stream(sim, capacity=8)
+
+    def producer():
+        for i in range(n):
+            yield stream.put(i)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in range(n):
+            yield stream.get()
+
+    sim.process(producer())
+    proc = sim.process(consumer())
+    start = time.perf_counter()
+    sim.run_until_complete(proc)
+    return n / (time.perf_counter() - start)
+
+
+def stream_bulk(n: int) -> float:
+    sim = Simulator()
+    stream = Stream(sim)
+
+    def producer():
+        batch = list(range(BURST))
+        for _ in range(n // BURST):
+            yield stream.put_many(batch)
+            yield sim.timeout(BURST)
+
+    def consumer():
+        got = 0
+        while got < n:
+            items = yield stream.get_many()
+            got += len(items)
+
+    sim.process(producer())
+    proc = sim.process(consumer())
+    start = time.perf_counter()
+    sim.run_until_complete(proc)
+    return n / (time.perf_counter() - start)
+
+
+SCENARIOS = {
+    "timeout_loop": timeout_loop,
+    "stream_pingpong": stream_pingpong,
+    "stream_bulk": stream_bulk,
+}
+
+
+def measure(n: int, repeats: int) -> dict:
+    results = {}
+    for name, fn in SCENARIOS.items():
+        results[name] = max(fn(n) for _ in range(repeats))
+    return results
+
+
+def load_baseline() -> dict:
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Engine events/s microbenchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick run; fail on regression vs baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help=f"rewrite {BASELINE_PATH}")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="also dump measured rates to FILE")
+    args = parser.parse_args(argv)
+
+    n = 50_000 if args.smoke else 200_000
+    repeats = 2 if args.smoke else 3
+    n -= n % BURST
+    results = measure(n, repeats)
+
+    baseline = None
+    if os.path.exists(BASELINE_PATH) and not args.update_baseline:
+        baseline = load_baseline()
+
+    width = max(len(name) for name in SCENARIOS)
+    print(f"{'scenario':<{width}}  {'events/s':>12}  {'baseline':>12}"
+          f"  {'ratio':>6}")
+    failed = []
+    for name, rate in results.items():
+        base = baseline["rates"].get(name) if baseline else None
+        ratio = rate / base if base else float("nan")
+        print(f"{name:<{width}}  {rate:>12,.0f}  "
+              f"{(f'{base:,.0f}' if base else '-'):>12}  "
+              f"{(f'{ratio:.2f}' if base else '-'):>6}")
+        if base and rate < base * (1.0 - args.threshold):
+            failed.append((name, rate, base))
+    if baseline and "seed_stream_pingpong" in baseline:
+        seed = baseline["seed_stream_pingpong"]
+        speedup = results["stream_bulk"] / seed
+        print(f"\nword-batched bulk path vs seed engine ping-pong "
+              f"({seed:,.0f}/s): {speedup:.1f}x")
+
+    if args.update_baseline:
+        payload = {"rates": results}
+        if os.path.exists(BASELINE_PATH):
+            old = load_baseline()
+            if "seed_stream_pingpong" in old:
+                payload["seed_stream_pingpong"] = old["seed_stream_pingpong"]
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"rates": results}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if failed:
+        for name, rate, base in failed:
+            print(f"REGRESSION: {name} at {rate:,.0f}/s is more than "
+                  f"{args.threshold:.0%} below baseline {base:,.0f}/s",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

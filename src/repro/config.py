@@ -107,6 +107,13 @@ class NicConfig:
     #: TLB capacity (§4.2): 16,384 entries of 2 MB huge pages -> 32 GB.
     tlb_entries: int = 16384
     page_bytes: int = 2 * 1024 * 1024
+    #: Validation mode: charge II=1 streaming costs one data-path word at
+    #: a time (one timeout per word) instead of one batched timeout per
+    #: burst.  Much slower to simulate but picosecond-identical, because
+    #: ``cycles(n) == n * cycles(1)`` exactly (see
+    #: :func:`repro.sim.timebase.cycles_to_ps`).  The timestamp
+    #: equivalence tests flip this flag and assert identical results.
+    per_word_accounting: bool = False
 
     @property
     def clock_period(self) -> int:
@@ -126,6 +133,21 @@ class NicConfig:
         pipeline stage — the store-and-forward cost the paper attributes
         to ICRC calculation (§7.1)."""
         return self.cycles(self.words(num_bytes))
+
+    def streaming_charge(self, env, num_bytes: int):
+        """Process helper (use with ``yield from``): charge the II=1
+        streaming cost of ``num_bytes``.
+
+        Batched mode (the default) charges one timeout for the whole
+        burst; :attr:`per_word_accounting` charges one timeout per
+        data-path word.  Both finish at the same picosecond.
+        """
+        if not self.per_word_accounting:
+            yield env.timeout(self.streaming_time(num_bytes))
+            return
+        word_time = self.cycles(1)
+        for _ in range(self.words(num_bytes)):
+            yield env.timeout(word_time)
 
 
 #: 10 G build: ADM-PCIE-7V3, Virtex-7 XC7VX690T, PCIe Gen3 x8 (§6.1).

@@ -116,8 +116,17 @@ class StromKernel:
         return self.env.timeout(self.config.cycles(cycles))
 
     def charge_streaming(self, num_bytes: int):
-        """Event: stream ``num_bytes`` through an II=1 pipeline stage."""
-        return self.env.timeout(self.config.streaming_time(num_bytes))
+        """Event: stream ``num_bytes`` through an II=1 pipeline stage.
+
+        In :attr:`NicConfig.per_word_accounting` mode the charge runs as
+        a process of one timeout per data-path word; it completes at the
+        same picosecond as the batched timeout.
+        """
+        config = self.config
+        if config.per_word_accounting:
+            return self.env.process(
+                config.streaming_charge(self.env, num_bytes))
+        return self.env.timeout(config.streaming_time(num_bytes))
 
     # ------------------------------------------------------------------
     # Stream conveniences (process helpers, use with ``yield from``)

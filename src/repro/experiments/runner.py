@@ -43,6 +43,9 @@ from .validation import flow_vs_detailed_experiment, stack_budget_experiment
 
 
 def _registry(fast: bool) -> Dict[str, Callable[[], ExperimentResult]]:
+    # Flow-model sweep points (repro.experiments.flowmodel) are memoized
+    # per (config, payload) with lru_cache, so operating points shared
+    # between figure families are computed once per run.
     lat_iters = 15 if fast else 50
     sweep_iters = 8 if fast else 30
     return {

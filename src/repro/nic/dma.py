@@ -163,7 +163,15 @@ class DmaEngine:
             # model as inflated occupancy.
             effective = int(num_bytes / self.config.pcie_random_access_factor)
         duration = link.occupancy_ps(effective)
-        yield self.env.timeout(duration)
+        if self.config.per_word_accounting:
+            # One timeout per data-path word; divmod spreads the burst
+            # duration so the per-word charges sum to it exactly.
+            words = self.config.words(num_bytes)
+            base, extra = divmod(duration, words)
+            for i in range(words):
+                yield self.env.timeout(base + 1 if i < extra else base)
+        else:
+            yield self.env.timeout(duration)
         link.bytes_transferred += num_bytes
         link.busy_time += duration
 

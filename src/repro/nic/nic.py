@@ -317,8 +317,8 @@ class StromNic:
             qp.requester.unacked.append(entry)
             self.payload_bytes_sent.add(len(packet.payload))
             # II=1 store-and-forward through the TX pipeline (ICRC).
-            yield self.env.timeout(
-                self.config.streaming_time(packet.l3_bytes))
+            yield from self.config.streaming_charge(
+                self.env, packet.l3_bytes)
             self.env.process(self._tx_deliver(packet))
         self.timer.arm(qp.qpn)
         gate.succeed()
@@ -348,7 +348,7 @@ class StromNic:
         self._tx_gate = gate
         yield prev_gate
         qp.requester.unacked.append(entry)
-        yield self.env.timeout(self.config.streaming_time(packet.l3_bytes))
+        yield from self.config.streaming_charge(self.env, packet.l3_bytes)
         self.env.process(self._tx_deliver(packet))
         self.timer.arm(qp.qpn)
         gate.succeed()
@@ -483,8 +483,8 @@ class StromNic:
                       psn=psn_add(packet.bth.psn, i))
             response = RocePacket(src_ip=self.ip, dst_ip=qp.dest_ip,
                                   bth=bth, aeth=aeth, payload=chunk)
-            yield self.env.timeout(
-                self.config.streaming_time(response.l3_bytes))
+            yield from self.config.streaming_charge(
+                self.env, response.l3_bytes)
             self.env.process(self._tx_deliver(response))
         gate.succeed()
 
@@ -638,8 +638,8 @@ class StromNic:
             if self.trace is not None:
                 self.trace.record(self.name, "retransmit",
                                   psn=entry.first_psn, kind=entry.kind)
-            yield self.env.timeout(
-                self.config.streaming_time(entry.packet.l3_bytes))
+            yield from self.config.streaming_charge(
+                self.env, entry.packet.l3_bytes)
             self.env.process(self._tx_deliver(entry.packet))
         self.timer.arm(qp.qpn)
 

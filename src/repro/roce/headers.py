@@ -19,6 +19,12 @@ PSN_MASK = 0xFFFFFF
 QPN_MASK = 0xFFFFFF
 MSN_MASK = 0xFFFFFF
 
+# Precompiled pack formats: header (de)serialization runs once per
+# simulated packet, so skipping the format-string parse matters.
+_BTH = struct.Struct("!BBHII")
+_RETH = struct.Struct("!QII")
+_AETH = struct.Struct("!I")
+
 
 @dataclass
 class Bth:
@@ -38,8 +44,7 @@ class Bth:
 
     def to_bytes(self) -> bytes:
         flags = 0x40  # migration state, pad 0, version 0
-        return struct.pack(
-            "!BBHI I",
+        return _BTH.pack(
             int(self.opcode),
             flags,
             self.partition_key,
@@ -51,8 +56,7 @@ class Bth:
     def from_bytes(cls, data: bytes) -> "Bth":
         if len(data) < cls.SIZE:
             raise ValueError("truncated BTH")
-        opcode, _flags, pkey, dqp_word, psn_word = struct.unpack(
-            "!BBHII", data[:12])
+        opcode, _flags, pkey, dqp_word, psn_word = _BTH.unpack(data[:12])
         return cls(opcode=Opcode(opcode),
                    dest_qp=dqp_word & QPN_MASK,
                    psn=psn_word & PSN_MASK,
@@ -76,15 +80,15 @@ class Reth:
     SIZE = 16
 
     def to_bytes(self) -> bytes:
-        return struct.pack("!QII", self.vaddr & 0xFFFFFFFFFFFFFFFF,
-                           self.rkey & 0xFFFFFFFF,
-                           self.dma_length & 0xFFFFFFFF)
+        return _RETH.pack(self.vaddr & 0xFFFFFFFFFFFFFFFF,
+                          self.rkey & 0xFFFFFFFF,
+                          self.dma_length & 0xFFFFFFFF)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Reth":
         if len(data) < cls.SIZE:
             raise ValueError("truncated RETH")
-        vaddr, rkey, dma_length = struct.unpack("!QII", data[:16])
+        vaddr, rkey, dma_length = _RETH.unpack(data[:16])
         return cls(vaddr=vaddr, rkey=rkey, dma_length=dma_length)
 
 
@@ -104,14 +108,14 @@ class Aeth:
     SIZE = 4
 
     def to_bytes(self) -> bytes:
-        return struct.pack("!I", ((self.syndrome & 0xFF) << 24)
-                           | (self.msn & MSN_MASK))
+        return _AETH.pack(((self.syndrome & 0xFF) << 24)
+                          | (self.msn & MSN_MASK))
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Aeth":
         if len(data) < cls.SIZE:
             raise ValueError("truncated AETH")
-        word = struct.unpack("!I", data[:4])[0]
+        word = _AETH.unpack(data[:4])[0]
         return cls(syndrome=word >> 24, msn=word & MSN_MASK)
 
     @property

@@ -9,12 +9,26 @@ bugs show up as test failures rather than silent model drift.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional
 
 from .. import config
 from ..net.headers import Ipv4Header, UdpHeader
 from .headers import Aeth, Bth, Reth, icrc32
 from .opcodes import Opcode, carries_aeth, carries_reth
+
+
+@lru_cache(maxsize=4096)
+def _ip_udp_prefix(src_ip: int, dst_ip: int, transport_len: int) -> bytes:
+    """Serialized IP+UDP encapsulation prefix.  Immutable for a given
+    (flow, packet size), so every MIDDLE packet of a large message — and
+    every same-sized message of a flow — reuses one byte string."""
+    udp = UdpHeader(src_port=config.ROCE_UDP_PORT,
+                    dst_port=config.ROCE_UDP_PORT,
+                    length=UdpHeader.SIZE + transport_len)
+    ip = Ipv4Header(src_ip=src_ip, dst_ip=dst_ip,
+                    total_length=Ipv4Header.SIZE + udp.length)
+    return ip.to_bytes() + udp.to_bytes()
 
 
 @dataclass
@@ -38,6 +52,14 @@ class RocePacket:
         if carries_aeth(self.bth.opcode) and self.aeth is None:
             raise ValueError(
                 f"{self.bth.opcode.name} requires an AETH")
+        # Sizes are queried on every pipeline stage a packet crosses;
+        # headers and payload never change after construction.
+        size = Bth.SIZE + len(self.payload) + config.ICRC_BYTES
+        if self.reth is not None:
+            size += Reth.SIZE
+        if self.aeth is not None:
+            size += Aeth.SIZE
+        self._transport_bytes = size
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -45,12 +67,7 @@ class RocePacket:
     @property
     def transport_bytes(self) -> int:
         """BTH + extension headers + payload + ICRC."""
-        size = Bth.SIZE + len(self.payload) + config.ICRC_BYTES
-        if self.reth is not None:
-            size += Reth.SIZE
-        if self.aeth is not None:
-            size += Aeth.SIZE
-        return size
+        return self._transport_bytes
 
     @property
     def l3_bytes(self) -> int:
@@ -77,13 +94,8 @@ class RocePacket:
         if self.corrupted:
             crc ^= 0xFFFFFFFF
         transport += crc.to_bytes(4, "big")
-
-        udp = UdpHeader(src_port=config.ROCE_UDP_PORT,
-                        dst_port=config.ROCE_UDP_PORT,
-                        length=UdpHeader.SIZE + len(transport))
-        ip = Ipv4Header(src_ip=self.src_ip, dst_ip=self.dst_ip,
-                        total_length=Ipv4Header.SIZE + udp.length)
-        return ip.to_bytes() + udp.to_bytes() + transport
+        return _ip_udp_prefix(self.src_ip, self.dst_ip,
+                              len(transport)) + transport
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "RocePacket":

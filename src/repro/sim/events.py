@@ -5,10 +5,18 @@ The design follows the classic simpy shape: an :class:`Event` carries a value
 once it is popped from the queue, is *processed* — at which point all its
 callbacks run.  :class:`Process` wraps a generator; the generator advances by
 yielding events and is resumed when the yielded event is processed.
+
+Fast path: the overwhelmingly common waiter is a single process blocked on
+a single event (a timeout, a stream hand-off, a resource grant).  That case
+is tracked in the dedicated :attr:`Event._waiter` slot instead of the
+``callbacks`` list, so the hot loop never allocates a bound method or walks
+a list; ``callbacks`` remains fully supported for multi-waiter events
+(conditions, explicit subscribers).  All event classes use ``__slots__``.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -26,11 +34,22 @@ class Event:
     events re-raise inside every waiting process.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused",
+                 "_interrupt", "_waiter")
+
     def __init__(self, env: "Simulator") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok = True
+        #: True once a condition (AnyOf/AllOf) or the driver observes the
+        #: outcome itself; unhandled failures then do not crash the run.
+        self._defused = False
+        #: True for interrupt poke events (failures by construction that
+        #: must not be treated as process crashes).
+        self._interrupt = False
+        #: Fast-path single waiter: the Process to resume on processing.
+        self._waiter = None
 
     @property
     def triggered(self) -> bool:
@@ -56,41 +75,51 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._ready.append((next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception to raise in waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._ready.append((next(env._eid), self))
         return self
 
     def __repr__(self) -> str:
-        state = "processed" if self.processed else (
-            "triggered" if self.triggered else "pending")
+        state = "processed" if self.callbacks is None else (
+            "triggered" if self._value is not _PENDING else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
 class Timeout(Event):
     """An event that succeeds ``delay`` picoseconds after its creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Simulator", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + schedule: timeouts are the hottest
+        # allocation in the simulator, so they go straight onto the heap.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self._interrupt = False
+        self._waiter = None
+        self.delay = delay
+        heappush(env._queue, (env._now + delay, next(env._eid), self))
 
 
 class Interrupt(Exception):
@@ -109,6 +138,8 @@ class Process(Event):
     event's exception is thrown into it).
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Simulator",
                  generator: Generator[Event, Any, Any]) -> None:
         super().__init__(env)
@@ -118,8 +149,9 @@ class Process(Event):
         self._target: Optional[Event] = None
         # Bootstrap: resume the process immediately at the current time.
         bootstrap = Event(env)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        bootstrap._value = None
+        bootstrap._waiter = self
+        env._ready.append((next(env._eid), bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -130,28 +162,35 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             raise RuntimeError("cannot interrupt a terminated process")
-        if self._target is not None and not self._target.processed:
+        target = self._target
+        if target is not None and target.callbacks is not None:
             # Stop waiting on the current target.
-            try:
-                self._target.callbacks.remove(self._resume)
-            except (ValueError, AttributeError):
-                pass
-        poke = Event(self.env)
-        poke.callbacks.append(self._resume)
+            if target._waiter is self:
+                target._waiter = None
+            else:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        env = self.env
+        poke = Event(env)
+        poke._waiter = self
         poke._ok = False
         poke._value = Interrupt(cause)
         poke._interrupt = True  # do not treat as a normal failure
-        self.env.schedule(poke)
+        env._ready.append((next(env._eid), poke))
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self._generator
         try:
             while True:
                 try:
                     if event._ok:
-                        target = self._generator.send(event._value)
+                        target = generator.send(event._value)
                     else:
-                        target = self._generator.throw(event._value)
+                        target = generator.throw(event._value)
                 except StopIteration as stop:
                     self._target = None
                     self.succeed(stop.value)
@@ -159,11 +198,16 @@ class Process(Event):
                 if not isinstance(target, Event):
                     raise RuntimeError(
                         f"process yielded a non-event: {target!r}")
-                if target.processed:
+                if target.callbacks is None:
                     # Already happened: resume immediately with its value.
                     event = target
                     continue
-                target.callbacks.append(self._resume)
+                # Suspend.  Single-waiter fast path: no bound-method
+                # allocation, no callback-list traversal on processing.
+                if target._waiter is None and not target.callbacks:
+                    target._waiter = self
+                else:
+                    target.callbacks.append(self._resume)
                 self._target = target
                 return
         except BaseException as exc:
@@ -172,10 +216,10 @@ class Process(Event):
             self._target = None
             self._ok = False
             self._value = exc
-            self.env.schedule(self)
+            env._ready.append((next(env._eid), self))
             return
         finally:
-            self.env._active_process = None
+            env._active_process = None
 
 
 class AnyOf(Event):
@@ -184,6 +228,8 @@ class AnyOf(Event):
     Its value is a dict mapping the already-triggered events to their values.
     A failure of any constituent event fails the condition.
     """
+
+    __slots__ = ("_events",)
 
     def __init__(self, env: "Simulator", events: List[Event]) -> None:
         super().__init__(env)
@@ -209,6 +255,8 @@ class AnyOf(Event):
 
 class AllOf(Event):
     """Succeeds when every one of ``events`` has succeeded."""
+
+    __slots__ = ("_events", "_remaining")
 
     def __init__(self, env: "Simulator", events: List[Event]) -> None:
         super().__init__(env)

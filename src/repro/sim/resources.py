@@ -32,6 +32,13 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        # Pre-triggered singleton returned by uncontended acquires: the
+        # scheduler never sees the grant, the process continues inline.
+        # Only valid to yield immediately (all in-tree callers do).
+        fast = Event(env)
+        fast._value = None
+        fast.callbacks = None
+        self._fast = fast
 
     @property
     def in_use(self) -> int:
@@ -43,12 +50,11 @@ class Resource:
 
     def acquire(self) -> Event:
         """Yieldable event granting one unit of the resource."""
-        event = Event(self.env)
         if self._in_use < self.capacity:
             self._in_use += 1
-            event.succeed()
-        else:
-            self._waiters.append(event)
+            return self._fast
+        event = Event(self.env)
+        self._waiters.append(event)
         return event
 
     def release(self) -> None:
