@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Cluster scale-out benchmark with a checked-in regression gate.
+
+Runs one fixed sharded-KV operating point — 2 shards + 2 clients on one
+switch, Zipf(0.99) keys, 95% GETs over the StRoM traversal path — and
+compares the *simulated* service metrics against
+``bench_cluster_baseline.json``:
+
+- ``achieved_kops`` must not drop more than ``--threshold`` below the
+  baseline (the cluster suddenly completing less offered load means a
+  scheduling or switch regression);
+- ``p99_us`` must not rise more than ``--threshold`` above it (tail
+  latency inflation is how queueing bugs surface first).
+
+The simulator is deterministic, so both numbers are exact for a given
+code version: drift of any size is a real behaviour change, and the 30%
+gate only exists to tolerate *intentional* model refinements without a
+baseline churn on every small change.
+
+Usage::
+
+    python benchmarks/bench_cluster.py             # full point
+    python benchmarks/bench_cluster.py --smoke     # short window + gate
+    python benchmarks/bench_cluster.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.cluster_scaling import run_cluster_point  # noqa: E402
+from repro.sim.timebase import MS  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "bench_cluster_baseline.json")
+
+#: The fixed operating point (see module docstring).
+SHARDS = 2
+OFFERED_PER_SHARD = 120_000.0
+WINDOWS = {"smoke": MS, "full": 4 * MS}
+
+
+def run_point(mode: str) -> dict:
+    start = time.perf_counter()
+    report = run_cluster_point(SHARDS,
+                               offered_per_shard=OFFERED_PER_SHARD,
+                               window_ps=WINDOWS[mode],
+                               get_path="strom", seed=1)
+    wall = time.perf_counter() - start
+    pct = report.latency_percentiles_us()
+    return {
+        "achieved_kops": report.achieved_ops_per_s / 1e3,
+        "p50_us": pct[0.50],
+        "p99_us": pct[0.99],
+        "issued": report.issued,
+        "wall_s": round(wall, 3),
+    }
+
+
+def load_baseline() -> dict:
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle)
+
+
+def check(measured: dict, base: dict, threshold: float) -> list:
+    """Gate: throughput must not sink, p99 must not balloon."""
+    failures = []
+    floor = base["achieved_kops"] * (1.0 - threshold)
+    if measured["achieved_kops"] < floor:
+        failures.append(
+            f"achieved_kops {measured['achieved_kops']:.1f} is more than "
+            f"{threshold:.0%} below baseline {base['achieved_kops']:.1f}")
+    ceiling = base["p99_us"] * (1.0 + threshold)
+    if measured["p99_us"] > ceiling:
+        failures.append(
+            f"p99_us {measured['p99_us']:.2f} is more than "
+            f"{threshold:.0%} above baseline {base['p99_us']:.2f}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sharded-KV cluster benchmark + regression gate")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short window; fail on regression vs baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help=f"rewrite {BASELINE_PATH} (smoke + full)")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="also dump measured metrics to FILE")
+    args = parser.parse_args(argv)
+
+    if args.update_baseline:
+        payload = {mode: run_point(mode) for mode in WINDOWS}
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    mode = "smoke" if args.smoke else "full"
+    measured = run_point(mode)
+    baseline = load_baseline().get(mode) \
+        if os.path.exists(BASELINE_PATH) else None
+
+    print(f"mode={mode}  shards={SHARDS}  "
+          f"offered={SHARDS * OFFERED_PER_SHARD / 1e3:.0f} kops/s")
+    for key in ("achieved_kops", "p50_us", "p99_us", "issued", "wall_s"):
+        base = baseline.get(key) if baseline else None
+        print(f"{key:>14}  {measured[key]:>10.2f}  "
+              f"(baseline {base if base is not None else '-'})")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({mode: measured}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if baseline is None:
+        print("no baseline; run with --update-baseline to create one",
+              file=sys.stderr)
+        return 0
+    failures = check(measured, baseline, args.threshold)
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

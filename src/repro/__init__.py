@@ -22,7 +22,7 @@ See README.md for the architecture overview, DESIGN.md for the system
 inventory, and EXPERIMENTS.md for paper-vs-measured results.
 """
 
-from . import algos, apps, config, fpga, host, kernels
+from . import algos, apps, cluster, config, fpga, host, kernels
 from . import memory, net, nic, roce, sim
 from .config import (
     HOST_DEFAULT,
@@ -53,6 +53,7 @@ __all__ = [
     "algos",
     "apps",
     "build_fabric",
+    "cluster",
     "config",
     "fpga",
     "host",

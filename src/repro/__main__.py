@@ -1,6 +1,9 @@
 """``python -m repro`` — run the evaluation reproduction.
 
-Delegates to :mod:`repro.experiments.runner`; see ``--help``.
+Delegates to :mod:`repro.experiments.runner`; see ``--help``.  Notable
+ids beyond the paper's figures: ``python -m repro cluster-scaling``
+sweeps the sharded KV service over a switched multi-node fabric
+(:mod:`repro.cluster`).
 """
 
 from .experiments.runner import main

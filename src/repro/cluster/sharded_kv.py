@@ -1,0 +1,233 @@
+"""A sharded key-value service over N StRoM servers.
+
+Keys are placed on shards by consistent hashing (a hash ring with
+virtual nodes, so adding a shard moves ~1/N of the keyspace instead of
+reshuffling everything).  Each shard is one Pilaf-style
+:class:`~repro.apps.kvstore.KvServer` on its own host with the traversal
+kernel deployed, and every client resolves GETs against the owning shard
+with any of the paper's three paths:
+
+- ``"reads"``  — one-sided RDMA READ chain (Pilaf),
+- ``"strom"``  — one traversal-kernel round trip,
+- ``"tcp"``    — rpcgen-style RPC on the server CPU (one RPC thread per
+  server: concurrent calls from any client serialize on that core).
+
+PUTs go through the server CPU over TCP RPC, as Pilaf does — only GETs
+are one-sided.
+
+Connection model: each client keeps a small pool of *connections* per
+shard (own response buffers, shared queue pair), so a client can keep
+several GETs in flight to the same shard — bounded, like real
+per-connection buffer rings.  When every slot is busy the next operation
+queues at the client, which is exactly the behaviour an open-loop load
+generator needs to expose tail latency.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..algos.hashing import fnv1a64, murmur64
+from ..apps.kvstore import GetResult, KvClient, KvServer
+from ..host.node import Fabric, HostNode
+from ..host.tcp_rpc import TcpRpcChannel
+from ..sim import Resource, Simulator
+from ..sim.timebase import US
+from .topology import Cluster
+
+GET_PATHS = ("reads", "strom", "tcp")
+
+#: Kernel/socket-stack CPU burned by one RPC invocation on the server
+#: core, on top of the handler's data-structure work (syscalls, TCP
+#: segmentation, wakeups).  Caps a single-core RPC server at ~125 kops/s,
+#: in line with the TCP baselines the paper compares against.
+TCP_HANDLER_CPU = 8 * US
+
+
+class HashRing:
+    """Consistent hashing: shards own arcs of a 64-bit ring."""
+
+    def __init__(self, num_shards: int, vnodes: int = 64) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per shard")
+        self.num_shards = num_shards
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(num_shards):
+            for replica in range(vnodes):
+                token = fnv1a64(f"shard{shard}/vn{replica}".encode())
+                points.append((token, shard))
+        points.sort()
+        self._tokens = [token for token, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def shard_for(self, key: int) -> int:
+        """The shard owning ``key`` (first point clockwise of its hash)."""
+        point = murmur64(key)
+        index = bisect_right(self._tokens, point)
+        if index == len(self._tokens):
+            index = 0
+        return self._owners[index]
+
+
+@dataclass
+class PutResult:
+    """Outcome of one PUT (server-side insert over TCP RPC)."""
+
+    latency_ps: int
+    shard: int
+
+
+class ShardedKvService:
+    """Server side: S KvServer shards with traversal kernels deployed."""
+
+    def __init__(self, cluster: Cluster, servers: List[HostNode],
+                 num_slots: int = 256,
+                 value_capacity: int = 4 * 1024 * 1024,
+                 chain_capacity: int = 4096,
+                 vnodes: int = 64) -> None:
+        if not servers:
+            raise ValueError("need at least one server host")
+        self.cluster = cluster
+        self.env: Simulator = cluster.env
+        self.shards = [KvServer(node, num_slots=num_slots,
+                                value_capacity=value_capacity,
+                                chain_capacity=chain_capacity)
+                       for node in servers]
+        for shard in self.shards:
+            shard.deploy_traversal_kernel()
+        self.ring = HashRing(len(self.shards), vnodes=vnodes)
+        #: One RPC-handler core per server (TCP calls serialize on it).
+        self.server_cores = [Resource(self.env, 1) for _ in self.shards]
+
+    def shard_index(self, key: int) -> int:
+        return self.ring.shard_for(key)
+
+    def shard_for(self, key: int) -> KvServer:
+        return self.shards[self.shard_index(key)]
+
+    def insert(self, key: int, value: bytes) -> int:
+        """Host-side insert into the owning shard (population / ground
+        truth); returns the shard index."""
+        index = self.shard_index(key)
+        self.shards[index].insert(key, value)
+        return index
+
+    def lookup_local(self, key: int) -> Optional[bytes]:
+        return self.shard_for(key).lookup_local(key)
+
+    @property
+    def size(self) -> int:
+        return sum(shard.size for shard in self.shards)
+
+
+class ShardedKvClient:
+    """Client side: per-shard connection pools over one cluster host."""
+
+    def __init__(self, cluster: Cluster, service: ShardedKvService,
+                 node: HostNode, slots: int = 4, seed: int = 0,
+                 default_value_bytes: int = 128) -> None:
+        if slots < 1:
+            raise ValueError("need at least one connection slot")
+        self.cluster = cluster
+        self.service = service
+        self.node = node
+        self.env: Simulator = cluster.env
+        self.default_value_bytes = default_value_bytes
+        self._free: List[deque] = []
+        self._slots: List[Resource] = []
+        for index, shard in enumerate(service.shards):
+            qpn_local, qpn_remote = cluster.connect(node, shard.node)
+            view = Fabric(env=self.env, client=node, server=shard.node,
+                          cable=cluster.access_cables[node.name],
+                          client_qpn=qpn_local, server_qpn=qpn_remote)
+            tcp = TcpRpcChannel(self.env, node.host_config,
+                                seed=seed ^ (0x7C17 * (index + 1)),
+                                server_cpu=service.server_cores[index])
+            self._free.append(deque(
+                KvClient(view, shard, tcp=tcp) for _ in range(slots)))
+            self._slots.append(Resource(self.env, slots))
+
+    # ------------------------------------------------------------------
+    # Connection leasing
+    # ------------------------------------------------------------------
+    def _lease(self, shard_index: int):
+        yield self._slots[shard_index].acquire()
+        return self._free[shard_index].popleft()
+
+    def _release(self, shard_index: int, connection: KvClient) -> None:
+        self._free[shard_index].append(connection)
+        self._slots[shard_index].release()
+
+    # ------------------------------------------------------------------
+    # Operations (process helpers: use with ``yield from``)
+    # ------------------------------------------------------------------
+    def get(self, key: int, path: str = "strom",
+            value_size: Optional[int] = None):
+        """Resolve one GET against the owning shard; returns GetResult."""
+        if path not in GET_PATHS:
+            raise ValueError(f"unknown GET path {path!r}; "
+                             f"choose from {GET_PATHS}")
+        shard_index = self.service.shard_index(key)
+        connection = yield from self._lease(shard_index)
+        try:
+            if path == "reads":
+                result = yield from connection.get_via_reads(key)
+            elif path == "strom":
+                size = value_size if value_size is not None \
+                    else self.default_value_bytes
+                result = yield from connection.get_via_strom(key, size)
+            else:
+                result = yield from self._get_via_tcp(connection, key)
+        finally:
+            self._release(shard_index, connection)
+        return result
+
+    def _get_via_tcp(self, connection: KvClient, key: int):
+        """TCP GET with the per-call kernel/socket CPU charged on the
+        shared server core (KvClient's handler models only the
+        data-structure walk)."""
+        env = self.env
+        start = env.now
+        shard = connection.server
+        hops = shard.chain_length(key)
+        value = shard.lookup_local(key)
+        response_bytes = len(value) if value is not None else 8
+
+        def work():
+            base_work = connection.tcp.linked_list_handler(
+                hops, response_bytes)
+            data_bytes, cpu_ps = base_work()
+            return data_bytes, cpu_ps + TCP_HANDLER_CPU
+
+        yield from connection.tcp.call(request_bytes=32, server_work=work)
+        return GetResult(value=value, latency_ps=env.now - start,
+                         network_round_trips=1)
+
+    def put(self, key: int, value: bytes):
+        """PUT through the server CPU (Pilaf: writes are not one-sided).
+        The insert executes on the shard when the RPC handler runs."""
+        shard_index = self.service.shard_index(key)
+        connection = yield from self._lease(shard_index)
+        shard = self.service.shards[shard_index]
+        env = self.env
+        start = env.now
+
+        def work():
+            shard.insert(key, value)
+            cpu = 2 * connection.tcp.cpu.memory_access() \
+                + connection.tcp.cpu.memcpy_time(len(value)) \
+                + TCP_HANDLER_CPU
+            return 8, cpu
+
+        try:
+            yield from connection.tcp.call(
+                request_bytes=32 + len(value), server_work=work)
+        finally:
+            self._release(shard_index, connection)
+        return PutResult(latency_ps=env.now - start, shard=shard_index)

@@ -1,0 +1,185 @@
+"""A store-and-forward Ethernet switch for multi-node StRoM clusters.
+
+The paper's testbed removes the switch "to remove the potential noise
+introduced by a switch" (Section 6.1) — which is exactly why a cluster
+substrate has to put one back: at scale-out every flow crosses shared
+switch ports, and queueing there is where tail latency is made.
+
+Model
+-----
+- **Store-and-forward.**  A frame is forwarded only after it has been
+  fully received (each attached :class:`~repro.net.link.Cable` already
+  delivers whole frames after paying serialization), then pays a fixed
+  ``forwarding_latency`` for lookup + crossbar transit.
+- **MAC learning.**  The switch learns ``source MAC -> ingress port`` on
+  every frame, using the ARP module's deterministic IP->MAC mapping
+  (:func:`repro.net.arp.mac_for_ip`).  Unknown destinations are flooded
+  to every other port, exactly like a learning L2 switch; gratuitous ARP
+  announcements at link-up (issued by the topology builder) pre-populate
+  the table so steady state never floods.
+- **Per-output-port queues with tail-drop.**  Each output port owns a
+  bounded FIFO of ``buffer_frames`` frames.  A frame arriving to a full
+  queue is dropped (tail-drop) and counted; RoCE's go-back-N
+  retransmission recovers, at a latency cost — congestion now has the
+  same failure mode as real RoCE deployments without PFC.
+- **Shared egress bandwidth.**  All output ports drain through one
+  shared switching-fabric link of ``fabric_bps`` (``None`` models an
+  ideal non-blocking fabric).  Each port additionally paces frames at
+  its cable's line rate so the bounded queue, not the cable's stream,
+  is the buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..net.arp import mac_for_ip
+from ..net.link import Cable
+from ..sim import BandwidthLink, Counter, Simulator, Stream, timebase
+from ..sim.timebase import NS
+
+
+@dataclass(frozen=True)
+class SwitchConfig:
+    """Parameters of one switch (defaults sized for the 10 G parts)."""
+
+    #: Lookup + crossbar latency per forwarded frame (store-and-forward
+    #: adds the full serialization delay on the ingress cable already).
+    forwarding_latency: int = 300 * NS
+    #: Per-output-port queue depth in frames; tail-drop beyond it.
+    buffer_frames: int = 64
+    #: Shared switching-fabric bandwidth in bits/s; ``None`` = ideal
+    #: non-blocking fabric (no shared constraint).
+    fabric_bps: Optional[float] = None
+
+
+SWITCH_DEFAULT = SwitchConfig()
+
+
+class SwitchPort:
+    """One attached cable plus the output queue draining toward it."""
+
+    def __init__(self, env: Simulator, index: int, cable: Cable,
+                 side: str, config: SwitchConfig, name: str) -> None:
+        if side == "a":
+            self.tx, self.rx = cable.a_tx, cable.a_rx
+        elif side == "b":
+            self.tx, self.rx = cable.b_tx, cable.b_rx
+        else:
+            raise ValueError("side must be 'a' or 'b'")
+        self.env = env
+        self.index = index
+        self.cable = cable
+        self.name = name
+        #: Bounded output queue: ``try_put`` failure == tail-drop.
+        self.queue = Stream(env, capacity=config.buffer_frames,
+                            name=f"{name}.q")
+        self.frames_in = Counter(f"{name}.in")
+        self.frames_out = Counter(f"{name}.out")
+        self.tail_drops = Counter(f"{name}.tail_drops")
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+
+class Switch:
+    """An N-port learning switch; ports are added with :meth:`attach`."""
+
+    def __init__(self, env: Simulator, config: SwitchConfig = SWITCH_DEFAULT,
+                 name: str = "switch") -> None:
+        self.env = env
+        self.config = config
+        self.name = name
+        self.ports: List[SwitchPort] = []
+        self._mac_table: Dict[bytes, int] = {}
+        self.fabric: Optional[BandwidthLink] = None
+        if config.fabric_bps is not None:
+            self.fabric = BandwidthLink(env, config.fabric_bps,
+                                        name=f"{name}.fabric")
+        self.frames_forwarded = Counter(f"{name}.forwarded")
+        self.frames_flooded = Counter(f"{name}.flooded")
+        self.frames_filtered = Counter(f"{name}.filtered")
+        self.frames_dropped = Counter(f"{name}.dropped")
+        self.macs_learned = Counter(f"{name}.macs_learned")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, cable: Cable, side: str = "b") -> int:
+        """Connect one cable end to a new port; returns the port index.
+
+        Hosts conventionally take side 'a' of their access cable and the
+        switch side 'b'; switch-to-switch uplinks use one side each.
+        """
+        index = len(self.ports)
+        port = SwitchPort(self.env, index, cable, side, self.config,
+                          name=f"{self.name}.p{index}")
+        self.ports.append(port)
+        self.env.process(self._ingress_loop(port))
+        self.env.process(self._egress_loop(port))
+        return index
+
+    # ------------------------------------------------------------------
+    # MAC table
+    # ------------------------------------------------------------------
+    def learn(self, mac: bytes, port_index: int) -> None:
+        """Install/refresh ``mac -> port`` (snooped or gratuitous ARP)."""
+        if not 0 <= port_index < len(self.ports):
+            raise ValueError(f"no such port {port_index}")
+        if self._mac_table.get(mac) != port_index:
+            self.macs_learned.add()
+        self._mac_table[mac] = port_index
+
+    def announce(self, ip: int, port_index: int) -> None:
+        """Gratuitous ARP at link-up: learn the host's deterministic MAC
+        on its access port (the ARP module's IP->MAC mapping)."""
+        self.learn(mac_for_ip(ip), port_index)
+
+    def port_for_mac(self, mac: bytes) -> Optional[int]:
+        return self._mac_table.get(mac)
+
+    def __len__(self) -> int:
+        return len(self.ports)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def _ingress_loop(self, port: SwitchPort):
+        """Receive frames on one port, learn, look up, enqueue."""
+        while True:
+            packet = yield port.rx.get()
+            port.frames_in.add()
+            self.learn(mac_for_ip(packet.src_ip), port.index)
+            yield self.env.timeout(self.config.forwarding_latency)
+            out = self._mac_table.get(mac_for_ip(packet.dst_ip))
+            if out == port.index:
+                # Destination lives on the ingress segment: filter.
+                self.frames_filtered.add()
+                continue
+            if out is None:
+                self.frames_flooded.add()
+                targets = [p for p in self.ports if p.index != port.index]
+            else:
+                self.frames_forwarded.add()
+                targets = [self.ports[out]]
+            for target in targets:
+                if not target.queue.try_put(packet):
+                    target.tail_drops.add()
+                    self.frames_dropped.add()
+
+    def _egress_loop(self, port: SwitchPort):
+        """Drain one output queue at the port's line rate through the
+        shared fabric.  The cable serializes in parallel with the pacing
+        delay here, so pacing adds no latency — it only makes the bounded
+        queue (not the cable's unbounded stream) the real buffer."""
+        rate = port.cable.bits_per_second
+        while True:
+            packet = yield port.queue.get()
+            if self.fabric is not None:
+                yield from self.fabric.transfer(packet.wire_bytes)
+            port.frames_out.add()
+            yield port.tx.put(packet)
+            yield self.env.timeout(
+                timebase.transfer_time_ps(packet.wire_bytes, rate))

@@ -1,0 +1,216 @@
+"""Cluster topology builders: wire HostNodes into fabrics of any size.
+
+Three shapes are provided:
+
+- :func:`build_pair` — the paper's two-host direct cable (Section 6.1),
+  byte- and picosecond-identical to the original ``build_fabric``, which
+  is now a thin wrapper over this builder;
+- :func:`build_star` — N hosts hanging off one store-and-forward switch
+  (one rack);
+- :func:`build_dual_star` — two racks joined by a switch-to-switch
+  uplink (the smallest multi-rack topology; MAC learning + flooding make
+  cross-rack forwarding work without any extra routing state).
+
+Fault injection: every link derives its RNG seed from its own name
+(:meth:`repro.net.link.LinkFaults.for_link`), so adding a host — and
+therefore a link — to a topology never perturbs an existing link's drop
+schedule.  The single-cable :func:`build_pair` keeps the caller's seed
+untouched for backwards compatibility with the two-node tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import HOST_DEFAULT, NIC_10G, HostConfig, NicConfig
+from ..host.node import HostNode
+from ..net.link import Cable, LinkFaults
+from ..sim import Simulator
+from .switch import SWITCH_DEFAULT, Switch, SwitchConfig
+
+#: First host IP: 10.0.0.1, matching the original two-node fabric.
+BASE_IP = 0x0A000001
+
+
+@dataclass
+class Cluster:
+    """A wired set of hosts, switches, and cables plus QP bookkeeping."""
+
+    env: Simulator
+    hosts: List[HostNode]
+    switches: List[Switch] = field(default_factory=list)
+    cables: Dict[str, Cable] = field(default_factory=dict)
+    #: Host name -> the cable connecting it to the fabric.
+    access_cables: Dict[str, Cable] = field(default_factory=dict)
+
+    def host(self, name: str) -> HostNode:
+        for node in self.hosts:
+            if node.name == name:
+                return node
+        raise KeyError(f"no host named {name!r}")
+
+    def connect(self, a: HostNode, b: HostNode) -> Tuple[int, int]:
+        """Bring up a queue pair between two hosts; returns
+        ``(qpn_on_a, qpn_on_b)``.  QPNs are allocated per NIC starting at
+        1 (0 is the reserved local-delivery QPN)."""
+        qpn_a = len(a.nic.qps) + 1
+        qpn_b = len(b.nic.qps) + 1
+        a.nic.create_queue_pair(qpn_a, qpn_b, b.nic.ip)
+        b.nic.create_queue_pair(qpn_b, qpn_a, a.nic.ip)
+        return qpn_a, qpn_b
+
+    def connect_all(self, clients: List[HostNode],
+                    servers: List[HostNode]) -> Dict[Tuple[str, str],
+                                                     Tuple[int, int]]:
+        """Full bipartite QP mesh (every client to every server)."""
+        qpns = {}
+        for client in clients:
+            for server in servers:
+                qpns[(client.name, server.name)] = self.connect(client,
+                                                                server)
+        return qpns
+
+
+def _announce_everywhere(hosts: List[HostNode]) -> None:
+    """Gratuitous ARP broadcast at link-up: every NIC learns every other
+    NIC's MAC (the switch floods the announcement to all ports)."""
+    for a in hosts:
+        for b in hosts:
+            if a is not b:
+                a.nic.arp.announce_to(b.nic.arp)
+
+
+def _make_hosts(env: Simulator, count: int, nic_config: NicConfig,
+                host_config: HostConfig, memory_bytes: int, seed: int,
+                names: Optional[List[str]] = None) -> List[HostNode]:
+    if count < 1:
+        raise ValueError("need at least one host")
+    if names is not None and len(names) != count:
+        raise ValueError("one name per host required")
+    hosts = []
+    for i in range(count):
+        name = names[i] if names is not None else f"h{i}"
+        hosts.append(HostNode(env, name, ip=BASE_IP + i,
+                              nic_config=nic_config,
+                              host_config=host_config,
+                              memory_bytes=memory_bytes, seed=seed + i))
+    return hosts
+
+
+# ---------------------------------------------------------------------------
+# Two hosts, one cable (the paper's testbed; used by build_fabric)
+# ---------------------------------------------------------------------------
+
+def build_pair(env: Simulator,
+               nic_config: NicConfig = NIC_10G,
+               host_config: HostConfig = HOST_DEFAULT,
+               memory_bytes: int = 1024 * 1024 * 1024,
+               faults: Optional[LinkFaults] = None,
+               seed: int = 1,
+               names: Tuple[str, str] = ("client", "server")) -> Cluster:
+    """Two directly connected hosts — no switch, one queue pair each way.
+
+    The caller's ``faults`` seed is used verbatim (no per-link
+    derivation): with a single cable there is nothing to decorrelate,
+    and the original two-node experiments depend on the exact schedule.
+    """
+    hosts = _make_hosts(env, 2, nic_config, host_config, memory_bytes,
+                        seed, names=list(names))
+    cable = Cable(env, bits_per_second=nic_config.line_rate_bps,
+                  propagation=nic_config.wire_propagation,
+                  faults=faults)
+    hosts[0].nic.attach(cable, "a")
+    hosts[1].nic.attach(cable, "b")
+    _announce_everywhere(hosts)
+    cluster = Cluster(env=env, hosts=hosts,
+                      cables={cable.name: cable},
+                      access_cables={hosts[0].name: cable,
+                                     hosts[1].name: cable})
+    cluster.connect(hosts[0], hosts[1])
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Star: N hosts on one switch
+# ---------------------------------------------------------------------------
+
+def _wire_host_to_switch(cluster: Cluster, host: HostNode, switch: Switch,
+                         nic_config: NicConfig,
+                         faults: Optional[LinkFaults],
+                         link_name: str) -> None:
+    link_faults = faults.for_link(link_name) if faults is not None else None
+    cable = Cable(cluster.env, bits_per_second=nic_config.line_rate_bps,
+                  propagation=nic_config.wire_propagation,
+                  faults=link_faults, name=link_name)
+    host.nic.attach(cable, "a")
+    port = switch.attach(cable, "b")
+    switch.announce(host.nic.ip, port)
+    cluster.cables[link_name] = cable
+    cluster.access_cables[host.name] = cable
+
+
+def build_star(env: Simulator, num_hosts: int,
+               nic_config: NicConfig = NIC_10G,
+               host_config: HostConfig = HOST_DEFAULT,
+               memory_bytes: int = 1024 * 1024 * 1024,
+               faults: Optional[LinkFaults] = None,
+               seed: int = 1,
+               switch_config: SwitchConfig = SWITCH_DEFAULT,
+               names: Optional[List[str]] = None,
+               name: str = "star") -> Cluster:
+    """``num_hosts`` hosts hanging off one store-and-forward switch."""
+    hosts = _make_hosts(env, num_hosts, nic_config, host_config,
+                        memory_bytes, seed, names=names)
+    switch = Switch(env, switch_config, name=f"{name}.sw0")
+    cluster = Cluster(env=env, hosts=hosts, switches=[switch])
+    for host in hosts:
+        _wire_host_to_switch(cluster, host, switch, nic_config, faults,
+                             link_name=f"{name}.link.{host.name}")
+    _announce_everywhere(hosts)
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Dual star: two racks joined by an uplink
+# ---------------------------------------------------------------------------
+
+def build_dual_star(env: Simulator, hosts_per_rack: int,
+                    nic_config: NicConfig = NIC_10G,
+                    host_config: HostConfig = HOST_DEFAULT,
+                    memory_bytes: int = 1024 * 1024 * 1024,
+                    faults: Optional[LinkFaults] = None,
+                    seed: int = 1,
+                    switch_config: SwitchConfig = SWITCH_DEFAULT,
+                    name: str = "rack") -> Cluster:
+    """Two racks of ``hosts_per_rack`` hosts, one switch each, joined by
+    a switch-to-switch uplink at the same line rate."""
+    hosts = _make_hosts(env, 2 * hosts_per_rack, nic_config, host_config,
+                        memory_bytes, seed)
+    switches = [Switch(env, switch_config, name=f"{name}.sw{r}")
+                for r in range(2)]
+    cluster = Cluster(env=env, hosts=hosts, switches=switches)
+    for i, host in enumerate(hosts):
+        rack = i // hosts_per_rack
+        _wire_host_to_switch(cluster, host, switches[rack], nic_config,
+                             faults,
+                             link_name=f"{name}{rack}.link.{host.name}")
+    uplink_name = f"{name}.uplink"
+    uplink_faults = faults.for_link(uplink_name) if faults is not None \
+        else None
+    uplink = Cable(env, bits_per_second=nic_config.line_rate_bps,
+                   propagation=nic_config.wire_propagation,
+                   faults=uplink_faults, name=uplink_name)
+    up0 = switches[0].attach(uplink, "a")
+    up1 = switches[1].attach(uplink, "b")
+    cluster.cables[uplink_name] = uplink
+    # The flooded gratuitous ARP announcements cross the uplink at
+    # link-up, so each switch learns the far rack's MACs on its uplink
+    # port.
+    for i, host in enumerate(hosts):
+        rack = i // hosts_per_rack
+        far_switch, far_port = (switches[1], up1) if rack == 0 \
+            else (switches[0], up0)
+        far_switch.announce(host.nic.ip, far_port)
+    _announce_everywhere(hosts)
+    return cluster

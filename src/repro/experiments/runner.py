@@ -18,12 +18,14 @@ import time
 from typing import Callable, Dict, List
 
 from ..config import NIC_10G, NIC_100G
+from ..sim import MS
 from .ablations import (
     datapath_width_ablation,
     doorbell_batching_ablation,
     interconnect_latency_ablation,
     outstanding_reads_ablation,
 )
+from .cluster_scaling import cluster_scaling_experiment
 from .common import ExperimentResult
 from .fig05_microbench import (
     latency_experiment,
@@ -77,6 +79,10 @@ def _registry(fast: bool) -> Dict[str, Callable[[], ExperimentResult]]:
         "ablation-batching": doorbell_batching_ablation,
         "validation-flow": flow_vs_detailed_experiment,
         "validation-stack-budget": stack_budget_experiment,
+        "cluster-scaling": lambda: cluster_scaling_experiment(
+            shard_counts=(1, 2) if fast else (1, 2, 3, 4),
+            offered_per_shard=60_000.0 if fast else 120_000.0,
+            window_ps=MS if fast else 2 * MS),
     }
 
 

@@ -16,7 +16,7 @@ from typing import Optional
 
 from ..config import HOST_DEFAULT, NIC_10G, HostConfig, NicConfig
 from ..memory import AddressSpace, PhysicalMemory, Region
-from ..net.link import Cable, LinkFaults
+from ..net.link import Cable, LinkFaults  # Cable: Fabric field annotation
 from ..nic.dma import MmioPath
 from ..nic.nic import NicCommand, StromNic
 from ..sim import Event, Simulator
@@ -191,27 +191,21 @@ def build_fabric(env: Simulator,
                  faults: Optional[LinkFaults] = None,
                  seed: int = 1) -> Fabric:
     """Stand up the standard two-node testbed: client <-> server over one
-    cable, one queue pair, TLBs loaded on demand by ``alloc``."""
-    client = HostNode(env, "client", ip=0x0A000001, nic_config=nic_config,
-                      host_config=host_config, memory_bytes=memory_bytes,
-                      seed=seed)
-    server = HostNode(env, "server", ip=0x0A000002, nic_config=nic_config,
-                      host_config=host_config, memory_bytes=memory_bytes,
-                      seed=seed + 1)
-    cable = Cable(env, bits_per_second=nic_config.line_rate_bps,
-                  propagation=nic_config.wire_propagation,
-                  faults=faults)
-    client.nic.attach(cable, "a")
-    server.nic.attach(cable, "b")
-    # Directly attached NICs learn each other through gratuitous ARP at
-    # link-up (Section 4.1's ARP module).
-    client.nic.arp.announce_to(server.nic.arp)
-    server.nic.arp.announce_to(client.nic.arp)
-    client_qpn, server_qpn = 1, 1
-    client.nic.create_queue_pair(client_qpn, server_qpn, server.nic.ip)
-    server.nic.create_queue_pair(server_qpn, client_qpn, client.nic.ip)
-    return Fabric(env=env, client=client, server=server, cable=cable,
-                  client_qpn=client_qpn, server_qpn=server_qpn)
+    cable, one queue pair, TLBs loaded on demand by ``alloc``.
+
+    Thin wrapper over :func:`repro.cluster.topology.build_pair` — the
+    generalized builder that also wires switched star and multi-rack
+    clusters (see :mod:`repro.cluster`).
+    """
+    from ..cluster.topology import build_pair
+    cluster = build_pair(env, nic_config=nic_config,
+                         host_config=host_config,
+                         memory_bytes=memory_bytes, faults=faults,
+                         seed=seed)
+    client, server = cluster.hosts
+    return Fabric(env=env, client=client, server=server,
+                  cable=cluster.access_cables[client.name],
+                  client_qpn=1, server_qpn=1)
 
 
 def add_queue_pair(fabric: Fabric) -> int:

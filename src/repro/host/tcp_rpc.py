@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..config import HostConfig
-from ..sim import Simulator
+from ..sim import Resource, Simulator
 from ..sim.timebase import NS
 from .cpu import CpuModel
 
@@ -41,12 +41,19 @@ class TcpRpcChannel:
     """
 
     def __init__(self, env: Simulator, config: HostConfig,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 server_cpu: Optional[Resource] = None) -> None:
         self.env = env
         self.config = config
         self.cpu = CpuModel(config)
         self._rng = random.Random(seed)
         self.calls = 0
+        #: Optional shared server core: when set, the handler's CPU time
+        #: serializes against every other channel holding the same
+        #: Resource (one RPC thread per server, as rpcgen deploys it).
+        #: Channels without it keep the original infinitely-parallel
+        #: server, which the two-node experiments rely on.
+        self.server_cpu = server_cpu
 
     def _one_way(self, payload_bytes: int) -> int:
         base = self.config.tcp_rpc_base_latency // 2
@@ -62,10 +69,17 @@ class TcpRpcChannel:
             raise ValueError("negative request size")
         start = self.env.now
         yield self.env.timeout(self._one_way(request_bytes))
-        response_bytes, cpu_ps = server_work()
-        if response_bytes < 0 or cpu_ps < 0:
-            raise ValueError("server work must return non-negative values")
-        yield self.env.timeout(cpu_ps)
+        if self.server_cpu is not None:
+            yield self.server_cpu.acquire()
+        try:
+            response_bytes, cpu_ps = server_work()
+            if response_bytes < 0 or cpu_ps < 0:
+                raise ValueError(
+                    "server work must return non-negative values")
+            yield self.env.timeout(cpu_ps)
+        finally:
+            if self.server_cpu is not None:
+                self.server_cpu.release()
         yield self.env.timeout(self._one_way(response_bytes))
         self.calls += 1
         return TcpRpcResult(latency_ps=self.env.now - start,

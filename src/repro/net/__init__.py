@@ -8,10 +8,11 @@ from .headers import (
     ipv4_checksum,
     parse_ip,
 )
-from .link import Cable, LinkFaults
+from .link import Cable, LinkFaults, link_seed
 
 __all__ = [
     "Cable",
+    "link_seed",
     "EthernetHeader",
     "Ipv4Header",
     "LinkFaults",

@@ -16,6 +16,19 @@ from typing import Optional
 from ..sim import Counter, Simulator, Stream, timebase
 
 
+def link_seed(seed: int, link_name: str) -> int:
+    """Per-link RNG seed: ``seed`` XOR a *stable* hash of the link name.
+
+    Python's builtin ``hash`` is salted per process, so it cannot seed a
+    reproducible fault schedule; FNV-1a over the name is stable across
+    runs and machines.  Deriving each link's seed from its own name means
+    adding a link to a topology never perturbs another link's drop
+    schedule (they share no RNG and their seeds do not shift).
+    """
+    from ..algos.hashing import fnv1a64
+    return seed ^ (fnv1a64(link_name.encode("utf-8")) & 0x7FFF_FFFF)
+
+
 @dataclass
 class LinkFaults:
     """Fault-injection knobs for one cable direction."""
@@ -32,6 +45,12 @@ class LinkFaults:
                   self.duplicate_probability):
             if not 0.0 <= p <= 1.0:
                 raise ValueError("probabilities must be within [0, 1]")
+
+    def for_link(self, link_name: str) -> "LinkFaults":
+        """A copy whose RNG seed is derived from this link's name, so
+        every link in a topology gets an independent, stable fault
+        schedule (see :func:`link_seed`)."""
+        return replace(self, seed=link_seed(self.seed, link_name))
 
 
 class Cable:

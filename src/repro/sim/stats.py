@@ -76,6 +76,32 @@ class LatencySample:
     def __len__(self) -> int:
         return len(self._values_ps)
 
+    @classmethod
+    def merge(cls, samples: Iterable["LatencySample"],
+              name: str = "") -> "LatencySample":
+        """Combine several samples (per-client, per-shard) into one.
+
+        The result owns a copy of every measurement, so mutating the
+        inputs afterwards does not affect it.  Merging preserves nothing
+        about ordering — only the distribution matters for percentiles.
+        """
+        merged = cls(name)
+        for sample in samples:
+            merged._values_ps.extend(sample._values_ps)
+        return merged
+
+    def percentiles(self, fractions: Iterable[float]) -> Dict[float, float]:
+        """Arbitrary percentiles (in microseconds) of the sample.
+
+        ``fractions`` is a list like ``[0.50, 0.95, 0.99]``; each must be
+        within [0, 1].  One sort serves the whole list.
+        """
+        if not self._values_ps:
+            raise ValueError(f"no measurements recorded for {self.name!r}")
+        values = sorted(timebase.to_micros(v) for v in self._values_ps)
+        return {fraction: percentile(values, fraction)
+                for fraction in fractions}
+
     def summary(self) -> LatencySummary:
         if not self._values_ps:
             raise ValueError(f"no measurements recorded for {self.name!r}")

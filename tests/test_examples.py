@@ -17,6 +17,7 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
     "stream_analytics.py",
     "remote_object_store.py",
     "distributed_join.py",
+    "sharded_kv_cluster.py",
 ])
 def test_example_runs(script, capsys):
     runpy.run_path(str(EXAMPLES / script), run_name="__main__")
