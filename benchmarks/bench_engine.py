@@ -17,6 +17,17 @@ Scenarios
     ``get_many`` and one timeout per burst — the word-batched accounting
     the II=1 pipeline argument licenses (one timeout of ``n * cycle_ps``
     stands in for n per-word events at identical timestamps).
+``pingpong_obs_off``
+    ``stream_pingpong`` with the observability hooks the instrumented
+    components carry — the ``trace is not None`` and
+    ``sampling_enabled`` guards on every item — while *no* obs session
+    is active.  This is the cost every simulation now pays; the
+    ``--obs-threshold`` guard (default 5 %) fails the run if it falls
+    more than that below plain ``stream_pingpong``.
+``pingpong_obs_on``
+    The same loop inside ``repro.obs.observe()``: every item opens and
+    closes a span and samples a gauge.  Reported for scale — tracing is
+    opt-in, so this rate carries no guard beyond the baseline check.
 
 Usage::
 
@@ -42,6 +53,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.obs import observe, registry_for, trace_for  # noqa: E402
 from repro.sim.channels import Stream  # noqa: E402
 from repro.sim.core import Simulator  # noqa: E402
 
@@ -106,10 +118,54 @@ def stream_bulk(n: int) -> float:
     return n / (time.perf_counter() - start)
 
 
+def _instrumented_pingpong(n: int) -> float:
+    """The ping-pong loop as an instrumented component runs it: cached
+    ``trace``/``metrics`` attributes, per-item guard checks, and
+    word-batched counter accounting after the loop."""
+    sim = Simulator()
+    metrics = registry_for(sim)
+    trace = trace_for(sim)
+    items = metrics.counter("bench.items")
+    depth = metrics.gauge("bench.depth")
+    stream = Stream(sim, capacity=8)
+
+    def producer():
+        for i in range(n):
+            yield stream.put(i)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in range(n):
+            yield stream.get()
+            if trace is not None:
+                span = trace.begin_span("bench", "item")
+                trace.end_span(span)
+            if metrics.sampling_enabled:
+                depth.sample(sim.now, len(stream))
+        items.add(n)
+
+    sim.process(producer())
+    proc = sim.process(consumer())
+    start = time.perf_counter()
+    sim.run_until_complete(proc)
+    return n / (time.perf_counter() - start)
+
+
+def pingpong_obs_off(n: int) -> float:
+    return _instrumented_pingpong(n)
+
+
+def pingpong_obs_on(n: int) -> float:
+    with observe():
+        return _instrumented_pingpong(n)
+
+
 SCENARIOS = {
     "timeout_loop": timeout_loop,
     "stream_pingpong": stream_pingpong,
     "stream_bulk": stream_bulk,
+    "pingpong_obs_off": pingpong_obs_off,
+    "pingpong_obs_on": pingpong_obs_on,
 }
 
 
@@ -134,6 +190,9 @@ def main(argv=None) -> int:
                         help=f"rewrite {BASELINE_PATH}")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--obs-threshold", type=float, default=0.05,
+                        help="allowed disabled-instrumentation overhead "
+                             "vs stream_pingpong (default 0.05)")
     parser.add_argument("--json", metavar="FILE",
                         help="also dump measured rates to FILE")
     args = parser.parse_args(argv)
@@ -165,6 +224,20 @@ def main(argv=None) -> int:
         print(f"\nword-batched bulk path vs seed engine ping-pong "
               f"({seed:,.0f}/s): {speedup:.1f}x")
 
+    # In-run overhead guard: the disabled-mode hooks must cost less than
+    # --obs-threshold of the bare engine loop measured this same run
+    # (same machine, same interpreter — no cross-machine noise).  The
+    # pair is measured interleaved, best-of-N each, so scheduler noise
+    # hits both sides alike instead of masquerading as overhead.
+    plain = hooked = 0.0
+    for _ in range(4):
+        plain = max(plain, stream_pingpong(n))
+        hooked = max(hooked, pingpong_obs_off(n))
+    overhead = 1.0 - hooked / plain
+    print(f"disabled-instrumentation overhead vs stream_pingpong: "
+          f"{overhead:+.1%} (limit {args.obs_threshold:.0%})")
+    obs_failed = hooked < plain * (1.0 - args.obs_threshold)
+
     if args.update_baseline:
         payload = {"rates": results}
         if os.path.exists(BASELINE_PATH):
@@ -181,13 +254,16 @@ def main(argv=None) -> int:
             json.dump({"rates": results}, handle, indent=2, sort_keys=True)
             handle.write("\n")
 
+    if obs_failed:
+        print(f"REGRESSION: pingpong_obs_off at {hooked:,.0f}/s is more "
+              f"than {args.obs_threshold:.0%} below stream_pingpong "
+              f"{plain:,.0f}/s", file=sys.stderr)
     if failed:
         for name, rate, base in failed:
             print(f"REGRESSION: {name} at {rate:,.0f}/s is more than "
                   f"{args.threshold:.0%} below baseline {base:,.0f}/s",
                   file=sys.stderr)
-        return 1
-    return 0
+    return 1 if (failed or obs_failed) else 0
 
 
 if __name__ == "__main__":

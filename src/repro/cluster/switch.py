@@ -31,12 +31,14 @@ Model
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from ..net.arp import mac_for_ip
 from ..net.link import Cable
-from ..sim import BandwidthLink, Counter, Simulator, Stream, timebase
+from ..obs.runtime import registry_for, trace_for
+from ..sim import BandwidthLink, Simulator, Stream, timebase
 from ..sim.timebase import NS
 
 
@@ -75,9 +77,15 @@ class SwitchPort:
         #: Bounded output queue: ``try_put`` failure == tail-drop.
         self.queue = Stream(env, capacity=config.buffer_frames,
                             name=f"{name}.q")
-        self.frames_in = Counter(f"{name}.in")
-        self.frames_out = Counter(f"{name}.out")
-        self.tail_drops = Counter(f"{name}.tail_drops")
+        metrics = registry_for(env)
+        self.metrics = metrics
+        self.frames_in = metrics.counter(f"{name}.in")
+        self.frames_out = metrics.counter(f"{name}.out")
+        self.tail_drops = metrics.counter(f"{name}.tail_drops")
+        #: Sampled queue-depth time series (only while observing).
+        self.depth_gauge = metrics.gauge(f"{name}.queue_depth")
+        #: Queue-residency span handles, FIFO with the queue itself.
+        self._span_queue: Deque = deque()
 
     @property
     def queue_depth(self) -> int:
@@ -98,11 +106,14 @@ class Switch:
         if config.fabric_bps is not None:
             self.fabric = BandwidthLink(env, config.fabric_bps,
                                         name=f"{name}.fabric")
-        self.frames_forwarded = Counter(f"{name}.forwarded")
-        self.frames_flooded = Counter(f"{name}.flooded")
-        self.frames_filtered = Counter(f"{name}.filtered")
-        self.frames_dropped = Counter(f"{name}.dropped")
-        self.macs_learned = Counter(f"{name}.macs_learned")
+        metrics = registry_for(env)
+        self.metrics = metrics
+        self.trace = trace_for(env)
+        self.frames_forwarded = metrics.counter(f"{name}.forwarded")
+        self.frames_flooded = metrics.counter(f"{name}.flooded")
+        self.frames_filtered = metrics.counter(f"{name}.filtered")
+        self.frames_dropped = metrics.counter(f"{name}.dropped")
+        self.macs_learned = metrics.counter(f"{name}.macs_learned")
 
     # ------------------------------------------------------------------
     # Wiring
@@ -168,6 +179,14 @@ class Switch:
                 if not target.queue.try_put(packet):
                     target.tail_drops.add()
                     self.frames_dropped.add()
+                    continue
+                if self.trace is not None:
+                    target._span_queue.append(self.trace.begin_span(
+                        target.name, "queued", psn=packet.bth.psn,
+                        opcode=packet.bth.opcode.name))
+                if self.metrics.sampling_enabled:
+                    target.depth_gauge.sample(self.env.now,
+                                              len(target.queue))
 
     def _egress_loop(self, port: SwitchPort):
         """Drain one output queue at the port's line rate through the
@@ -177,6 +196,10 @@ class Switch:
         rate = port.cable.bits_per_second
         while True:
             packet = yield port.queue.get()
+            if self.trace is not None and port._span_queue:
+                self.trace.end_span(port._span_queue.popleft())
+            if self.metrics.sampling_enabled:
+                port.depth_gauge.sample(self.env.now, len(port.queue))
             if self.fabric is not None:
                 yield from self.fabric.transfer(packet.wire_bytes)
             port.frames_out.add()

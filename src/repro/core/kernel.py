@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..config import NicConfig
+from ..obs.runtime import trace_for
 from ..sim import Simulator, Stream
 
 
@@ -95,6 +96,12 @@ class StromKernel:
         self.config = config
         self.streams = KernelStreams(env)
         self.invocations = 0
+        #: Flight recorder while an obs session is active, else None.
+        self.trace = trace_for(env)
+        #: Span source label; the NIC overrides this at deploy time with
+        #: a NIC-qualified name (e.g. ``nic0.kernel.strom-kv``).
+        self.trace_source = f"kernel.{self.name}"
+        self._invocation_span = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -134,9 +141,17 @@ class StromKernel:
     def next_invocation(self):
         """Wait for the next RPC: reads qpnIn and paramIn together, the
         way every published kernel's first stage does (Listing 3)."""
+        if self.trace is not None and self._invocation_span is not None:
+            # The previous invocation ends where the kernel loops back
+            # for the next one (kernels block forever on qpnIn).
+            self.trace.end_span(self._invocation_span)
+            self._invocation_span = None
         qpn = yield self.streams.qpn_in.get()
         params = yield self.streams.param_in.get()
         self.invocations += 1
+        if self.trace is not None:
+            self._invocation_span = self.trace.begin_span(
+                self.trace_source, "invocation", qpn=qpn)
         return RpcInvocation(qpn=qpn, params=params)
 
     def dma_read(self, vaddr: int, length: int):

@@ -6,6 +6,15 @@ Usage::
     python -m repro.experiments.runner fig7 fig8  # a selection
     python -m repro.experiments.runner --fast     # reduced iteration counts
 
+    # capture observability artifacts for any run:
+    python -m repro cluster-scaling --fast \
+        --trace-out run.json --metrics-out metrics.json
+    python -m repro report metrics.json           # pretty-print a snapshot
+
+``--trace-out`` writes a Chrome trace-event file (load it at
+https://ui.perfetto.dev); ``--metrics-out`` writes the merged metrics
+snapshot of every simulation the run built (see :mod:`repro.obs`).
+
 The EXPERIMENTS.md paper-vs-measured records were produced by this
 runner.
 """
@@ -13,9 +22,13 @@ runner.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import Callable, Dict, List
+
+from ..obs import observe
 
 from ..config import NIC_10G, NIC_100G
 from ..sim import MS
@@ -116,17 +129,66 @@ def write_markdown_report(results: List[ExperimentResult],
             handle.write("\n\n")
 
 
+def print_metrics_report(path: str, stream=None) -> None:
+    """Pretty-print a ``--metrics-out`` snapshot grouped by component."""
+    stream = stream or sys.stdout
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    print(f"metrics snapshot: {path} ({len(snapshot)} series)",
+          file=stream)
+    previous_root = None
+    for name in sorted(snapshot):
+        root = name.split(".", 1)[0]
+        if root != previous_root:
+            print(f"\n[{root}]", file=stream)
+            previous_root = root
+        value = snapshot[name]
+        formatted = f"{value:.6g}" if isinstance(value, float) else value
+        print(f"  {name:<48} {formatted}", file=stream)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Reproduce the StRoM evaluation tables and figures")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment ids (default: all)")
+                        help="experiment ids (default: all), or "
+                             "'report FILE' to pretty-print a metrics "
+                             "snapshot")
     parser.add_argument("--fast", action="store_true",
                         help="reduced iteration counts")
     parser.add_argument("--markdown", metavar="FILE",
                         help="also write the tables to FILE as markdown")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write a Chrome trace-event JSON of the run "
+                             "(open with https://ui.perfetto.dev)")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write the run's merged metrics snapshot "
+                             "as JSON")
     args = parser.parse_args(argv)
-    results = run_experiments(args.experiments or None, fast=args.fast)
+
+    if args.experiments and args.experiments[0] == "report":
+        if len(args.experiments) != 2:
+            parser.error("report takes exactly one metrics JSON file")
+        try:
+            print_metrics_report(args.experiments[1])
+        except BrokenPipeError:
+            # `... report m.json | head` closes stdout early; not an error.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+    observing = args.trace_out or args.metrics_out
+    if observing:
+        with observe(tracing=bool(args.trace_out)) as session:
+            results = run_experiments(args.experiments or None,
+                                      fast=args.fast)
+        if args.trace_out:
+            session.write_trace(args.trace_out)
+            print(f"chrome trace written to {args.trace_out}")
+        if args.metrics_out:
+            session.write_metrics(args.metrics_out)
+            print(f"metrics snapshot written to {args.metrics_out}")
+    else:
+        results = run_experiments(args.experiments or None, fast=args.fast)
     if args.markdown:
         write_markdown_report(results, args.markdown)
         print(f"markdown report written to {args.markdown}")

@@ -43,7 +43,8 @@ class HostNode:
             issue_cost=host_config.mmio_command_cost,
             crossing_latency=nic_config.pcie_write_latency,
             deliver=self.nic.submit,
-            jitter_seed=seed)
+            jitter_seed=seed,
+            name=f"{name}.mmio")
         self._rng = random.Random(seed ^ 0x5EED)
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..config import HostConfig
+from ..obs.runtime import registry_for
 from ..sim import Resource, Simulator
 from ..sim.timebase import NS
 from .cpu import CpuModel
@@ -42,12 +43,14 @@ class TcpRpcChannel:
 
     def __init__(self, env: Simulator, config: HostConfig,
                  seed: int = 0,
-                 server_cpu: Optional[Resource] = None) -> None:
+                 server_cpu: Optional[Resource] = None,
+                 name: str = "tcp_rpc") -> None:
         self.env = env
         self.config = config
         self.cpu = CpuModel(config)
         self._rng = random.Random(seed)
-        self.calls = 0
+        self.name = name
+        self.calls = registry_for(env).counter(f"{name}.calls")
         #: Optional shared server core: when set, the handler's CPU time
         #: serializes against every other channel holding the same
         #: Resource (one RPC thread per server, as rpcgen deploys it).
@@ -81,7 +84,7 @@ class TcpRpcChannel:
             if self.server_cpu is not None:
                 self.server_cpu.release()
         yield self.env.timeout(self._one_way(response_bytes))
-        self.calls += 1
+        self.calls.add()
         return TcpRpcResult(latency_ps=self.env.now - start,
                             response_bytes=response_bytes,
                             server_cpu_ps=cpu_ps)

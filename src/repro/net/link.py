@@ -13,7 +13,8 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from ..sim import Counter, Simulator, Stream, timebase
+from ..obs.runtime import registry_for
+from ..sim import Simulator, Stream, timebase
 
 
 def link_seed(seed: int, link_name: str) -> int:
@@ -81,11 +82,15 @@ class Cable:
         self.a_rx: Stream = Stream(env, name=f"{name}.a_rx")
         self.b_rx: Stream = Stream(env, name=f"{name}.b_rx")
 
-        self.frames_delivered = Counter(f"{name}.delivered")
-        self.frames_dropped = Counter(f"{name}.dropped")
-        self.frames_corrupted = Counter(f"{name}.corrupted")
-        self.frames_duplicated = Counter(f"{name}.duplicated")
-        self.bytes_on_wire = Counter(f"{name}.wire_bytes")
+        self.metrics = registry_for(env)
+        self.frames_delivered = self.metrics.counter(f"{name}.delivered")
+        self.frames_dropped = self.metrics.counter(f"{name}.dropped")
+        self.frames_corrupted = self.metrics.counter(f"{name}.corrupted")
+        self.frames_duplicated = self.metrics.counter(f"{name}.duplicated")
+        self.bytes_on_wire = self.metrics.counter(f"{name}.wire_bytes")
+        #: Sampled time series of wire utilization (fraction of elapsed
+        #: time spent serializing), collected only while observing.
+        self._utilization = self.metrics.gauge(f"{name}.utilization")
 
         env.process(self._pump(self.a_tx, self.b_rx))
         env.process(self._pump(self.b_tx, self.a_rx))
@@ -101,6 +106,11 @@ class Cable:
             # frame's serialization.
             yield self.env.timeout(
                 timebase.transfer_time_ps(wire_bytes, self.bits_per_second))
+            if self.metrics.sampling_enabled and self.env.now > 0:
+                busy = self.bytes_on_wire.value * 8 / self.bits_per_second
+                self._utilization.sample(
+                    self.env.now,
+                    busy / timebase.to_seconds(self.env.now))
             if self._rng.random() < self.faults.drop_probability:
                 self.frames_dropped.add()
                 continue

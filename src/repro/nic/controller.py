@@ -95,7 +95,7 @@ class Controller:
             REG_KERNEL_COUNT: lambda: len(nic.registry),
             REG_RPC_MATCHES: lambda: int(nic.registry.matches),
             REG_RPC_MISSES: lambda: int(nic.registry.misses),
-            REG_TIMER_EXPIRATIONS: lambda: nic.timer.expirations,
+            REG_TIMER_EXPIRATIONS: lambda: int(nic.timer.expirations),
         }
 
     def read_register(self, offset: int) -> int:

@@ -16,7 +16,8 @@ from typing import Callable, List, Optional, Tuple
 
 from ..config import NicConfig
 from ..memory import PhysicalMemory
-from ..sim import BandwidthLink, Counter, Event, Simulator
+from ..obs.runtime import registry_for, trace_for
+from ..sim import BandwidthLink, Event, Simulator
 from .tlb import Tlb
 
 #: Fixed per-TLP overhead on the PCIe link (headers + DLLP traffic).
@@ -63,10 +64,13 @@ class DmaEngine:
             per_transfer_overhead_bytes=PCIE_TLP_OVERHEAD_BYTES,
             name=f"{name}.pcie_c2h")
         self.name = name
-        self.reads = Counter(f"{name}.reads")
-        self.writes = Counter(f"{name}.writes")
-        self.bytes_read = Counter(f"{name}.bytes_read")
-        self.bytes_written = Counter(f"{name}.bytes_written")
+        metrics = registry_for(env)
+        self.metrics = metrics
+        self.trace = trace_for(env)
+        self.reads = metrics.counter(f"{name}.reads")
+        self.writes = metrics.counter(f"{name}.writes")
+        self.bytes_read = metrics.counter(f"{name}.bytes_read")
+        self.bytes_written = metrics.counter(f"{name}.bytes_written")
         self._watches: List[Tuple[int, int, Event]] = []
 
     # ------------------------------------------------------------------
@@ -80,6 +84,8 @@ class DmaEngine:
         host->card lanes; random access patterns pay the reduced
         effective bandwidth of Section 7.
         """
+        span = None if self.trace is None else self.trace.begin_span(
+            self.name, "dma_read", vaddr=vaddr, length=length)
         pieces = list(self.tlb.split_command(vaddr, length))
         yield self.env.timeout(self.config.pcie_read_latency)
         yield self.read_link._mutex.acquire()
@@ -93,6 +99,8 @@ class DmaEngine:
             self.read_link._mutex.release()
         self.reads.add()
         self.bytes_read.add(length)
+        if self.trace is not None:
+            self.trace.end_span(span)
         return b"".join(chunks)
 
     def read_stream(self, vaddr: int, chunk_lengths, out_stream,
@@ -107,6 +115,8 @@ class DmaEngine:
         fetching with its own processing, and concurrent bursts are
         served strictly in issue order (no head-of-line interleaving).
         """
+        span = None if self.trace is None else self.trace.begin_span(
+            self.name, "dma_stream_read", vaddr=vaddr)
         yield self.env.timeout(self.config.pcie_read_latency)
         yield self.read_link._mutex.acquire()
         try:
@@ -128,6 +138,8 @@ class DmaEngine:
             self.read_link._mutex.release()
         self.reads.add()
         self.bytes_read.add(total)
+        if self.trace is not None:
+            self.trace.end_span(span, length=total)
 
     def write(self, vaddr: int, data: bytes, sequential: bool = True):
         """Post ``data`` to virtual ``vaddr`` in host memory.
@@ -138,6 +150,8 @@ class DmaEngine:
         """
         if not data:
             return
+        span = None if self.trace is None else self.trace.begin_span(
+            self.name, "dma_write", vaddr=vaddr, length=len(data))
         pieces = list(self.tlb.split_command(vaddr, len(data)))
         yield self.env.timeout(self.config.pcie_write_latency)
         yield self.write_link._mutex.acquire()
@@ -152,6 +166,8 @@ class DmaEngine:
             self.write_link._mutex.release()
         self.writes.add()
         self.bytes_written.add(len(data))
+        if self.trace is not None:
+            self.trace.end_span(span)
         self._fire_watches(vaddr, len(data))
 
     def _occupy(self, link: BandwidthLink, num_bytes: int,
@@ -210,12 +226,14 @@ class MmioPath:
 
     def __init__(self, env: Simulator, issue_cost: int,
                  crossing_latency: int, deliver: Callable[[object], None],
-                 jitter_seed: int = 0) -> None:
+                 jitter_seed: int = 0, name: str = "mmio") -> None:
         self.env = env
         self.issue_cost = issue_cost
         self.crossing_latency = crossing_latency
         self.deliver = deliver
-        self.commands_issued = Counter("mmio.commands")
+        self.name = name
+        self.commands_issued = registry_for(env).counter(
+            f"{name}.commands")
         self._rng = random.Random(jitter_seed)
         from ..sim import Resource
         self._cpu_port = Resource(env, capacity=1)

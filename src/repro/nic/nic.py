@@ -45,9 +45,10 @@ from ..roce.packetizer import (
     segment_rpc_write,
     segment_write,
 )
+from ..obs.runtime import registry_for, trace_for
 from ..roce.qp import PsnVerdict, QueuePairTable, psn_add, psn_distance
 from ..roce.retransmit import RetransmissionTimer
-from ..sim import Counter, Event, Resource, Simulator, Stream
+from ..sim import Event, Resource, Simulator, Stream
 from .dma import DmaEngine
 from .tlb import Tlb
 
@@ -97,6 +98,7 @@ class _ReadContext:
     completion: Optional[Event]
     next_index: int = 0
     bytes_received: int = 0
+    span: Optional[object] = None  # open trace span while in flight
 
 
 class StromNic:
@@ -115,13 +117,16 @@ class StromNic:
         self.arp = ArpCache(env, ip)
         self.tlb = Tlb(config)
         self.dma = DmaEngine(env, config, memory, self.tlb, name=f"{name}.dma")
-        self.qps = QueuePairTable(config.num_queue_pairs)
+        self.qps = QueuePairTable(config.num_queue_pairs,
+                                  registry=registry_for(env),
+                                  prefix=f"{name}.qps")
         self.multiqueue = MultiQueue(config.num_queue_pairs,
                                      config.max_outstanding_reads)
         self.registry = KernelRegistry()
         self.read_credits = Resource(env, config.max_outstanding_reads)
         self.timer = RetransmissionTimer(env, config.retransmit_timeout,
-                                         self._on_retransmit_timeout)
+                                         self._on_retransmit_timeout,
+                                         name=f"{name}.timer")
 
         # Per-QP completions waiting for ACKs: qpn -> ordered entries.
         self._rpc_write_target: Dict[int, Optional[StromKernel]] = {}
@@ -139,18 +144,24 @@ class StromNic:
         # Statistics
         from .controller import Controller
         self.controller = Controller(self)
-        #: Optional flight recorder (see repro.sim.trace.EventTrace).
-        self.trace = None
+        metrics = registry_for(env)
+        self.metrics = metrics
+        #: Optional flight recorder (see repro.sim.trace.EventTrace);
+        #: populated while an obs session is active, else None.
+        self.trace = trace_for(env)
 
-        self.packets_sent = Counter(f"{name}.pkts_tx")
-        self.packets_received = Counter(f"{name}.pkts_rx")
-        self.packets_dropped = Counter(f"{name}.pkts_dropped")
-        self.acks_sent = Counter(f"{name}.acks_tx")
-        self.naks_sent = Counter(f"{name}.naks_tx")
-        self.retransmitted = Counter(f"{name}.retransmits")
-        self.duplicates = Counter(f"{name}.duplicates")
-        self.payload_bytes_sent = Counter(f"{name}.payload_tx")
-        self.payload_bytes_received = Counter(f"{name}.payload_rx")
+        self.packets_sent = metrics.counter(f"{name}.pkts_tx")
+        self.packets_received = metrics.counter(f"{name}.pkts_rx")
+        self.packets_dropped = metrics.counter(f"{name}.pkts_dropped")
+        self.acks_sent = metrics.counter(f"{name}.acks_tx")
+        self.naks_sent = metrics.counter(f"{name}.naks_tx")
+        self.retransmitted = metrics.counter(f"{name}.retransmits")
+        self.duplicates = metrics.counter(f"{name}.duplicates")
+        self.payload_bytes_sent = metrics.counter(f"{name}.payload_tx")
+        self.payload_bytes_received = metrics.counter(f"{name}.payload_rx")
+        #: Sampled time series of in-flight READs (Multi-Queue load).
+        self._outstanding_reads = metrics.gauge(
+            f"{name}.outstanding_reads")
 
     # ------------------------------------------------------------------
     # Wiring
@@ -174,6 +185,7 @@ class StromNic:
                       sequential_dma: bool = True) -> None:
         """Deploy a StRoM kernel and start its stream adapters."""
         kernel.sequential_dma = sequential_dma
+        kernel.trace_source = f"{self.name}.kernel.{kernel.name}"
         self.registry.deploy(rpc_opcode, kernel)
         self.env.process(self._kernel_dma_adapter(kernel))
         self.env.process(self._kernel_tx_adapter(kernel))
@@ -274,6 +286,9 @@ class StromNic:
         as a *stream* overlapping transmission (descriptor bypass)."""
         payload = command.payload_inline
         yield prev_gate
+        span = None if self.trace is None else self.trace.begin_span(
+            f"{self.name}.qp{qp.qpn}", "tx_message", kind=command.kind,
+            length=command.length)
 
         if command.kind == "rpc":
             reth = Reth(vaddr=command.rpc_op, rkey=0,
@@ -320,17 +335,26 @@ class StromNic:
             yield from self.config.streaming_charge(
                 self.env, packet.l3_bytes)
             self.env.process(self._tx_deliver(packet))
+        if self.trace is not None:
+            self.trace.end_span(span)
         self.timer.arm(qp.qpn)
         gate.succeed()
 
     def _post_read(self, command: NicCommand):
         yield self.read_credits.acquire()
+        if self.metrics.sampling_enabled:
+            self._outstanding_reads.sample(self.env.now,
+                                           self.read_credits.in_use)
         qp = self.qps.get(command.qpn)
         count = read_response_packet_count(command.length)
         first_psn = qp.requester.allocate_psns(count)
         context = _ReadContext(laddr=command.laddr, length=command.length,
                                first_psn=first_psn, packet_count=count,
                                completion=command.completion)
+        if self.trace is not None:
+            context.span = self.trace.begin_span(
+                f"{self.name}.qp{qp.qpn}", "read", length=command.length,
+                psn=first_psn)
         try:
             self.multiqueue.push(qp.qpn, context)
         except MultiQueueFullError:
@@ -474,6 +498,9 @@ class StromNic:
             packet.reth.vaddr, [seg.length for seg in segments],
             fetch_queue))
         yield prev_gate
+        span = None if self.trace is None else self.trace.begin_span(
+            f"{self.name}.qp{qp.qpn}", "serve_read",
+            length=packet.reth.dma_length, psn=packet.bth.psn)
         for i, seg in enumerate(segments):
             chunk = yield fetch_queue.get()
             aeth = None
@@ -486,6 +513,8 @@ class StromNic:
             yield from self.config.streaming_charge(
                 self.env, response.l3_bytes)
             self.env.process(self._tx_deliver(response))
+        if self.trace is not None:
+            self.trace.end_span(span)
         gate.succeed()
 
     def _responder_rpc_write(self, qp, packet: RocePacket):
@@ -590,6 +619,9 @@ class StromNic:
         if final:
             self.multiqueue.pop(qp.qpn)
             self._release_read_entry(qp, context)
+            if self.trace is not None and context.span is not None:
+                self.trace.end_span(context.span)
+                context.span = None
         if packet.payload:
             yield from self.dma.write(context.laddr + offset, packet.payload)
         if final:
@@ -597,6 +629,9 @@ class StromNic:
                     and not context.completion.triggered:
                 context.completion.succeed(self.env.now)
             self.read_credits.release()
+            if self.metrics.sampling_enabled:
+                self._outstanding_reads.sample(self.env.now,
+                                               self.read_credits.in_use)
             if qp.requester.unacked:
                 self.timer.arm(qp.qpn)
             else:
@@ -626,6 +661,8 @@ class StromNic:
                    or e.first_psn == from_psn]
         if not entries:
             return
+        qp_retransmits = self.metrics.counter(
+            f"{self.name}.qp{qp.qpn}.retransmits")
         for entry in entries:
             if entry.kind == "read":
                 # Reset the response context; re-execution is idempotent.
@@ -635,6 +672,7 @@ class StromNic:
                         context.next_index = 0
                         context.bytes_received = 0
             self.retransmitted.add()
+            qp_retransmits.add()
             if self.trace is not None:
                 self.trace.record(self.name, "retransmit",
                                   psn=entry.first_psn, kind=entry.kind)

@@ -1,0 +1,130 @@
+"""Chrome trace-event JSON export (Perfetto-loadable timelines).
+
+Converts :class:`~repro.sim.trace.EventTrace` contents — instants and
+spans — plus sampled gauge series from a
+:class:`~repro.obs.metrics.MetricsRegistry` into the Chrome trace-event
+format (the ``traceEvents`` JSON consumed by https://ui.perfetto.dev
+and ``chrome://tracing``):
+
+- every trace *source* (a NIC, a DMA engine, a switch port) becomes a
+  named thread (one ``tid`` per source, announced with ``"M"`` metadata
+  events);
+- spans become complete events (``"ph": "X"`` with ``ts`` and ``dur``);
+- instants become instant events (``"ph": "i"``);
+- sampled gauges become counter tracks (``"ph": "C"``) — switch queue
+  depths and link utilization render as area charts under the threads.
+
+Timestamps convert from integer picoseconds to the format's
+microseconds; sub-microsecond resolution survives as fractional ``ts``.
+The output is deterministic: events sort by timestamp with a stable
+tie-break, JSON keys are sorted, and no wall-clock data is embedded —
+two identical seeded runs export byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..sim.trace import EventTrace
+
+#: Every exported simulation claims one process in the timeline UI.
+TRACE_PID = 1
+
+#: Chrome trace timestamps are microseconds; simulation time is ps.
+_PS_PER_US = 1_000_000
+
+
+def _ts(time_ps: int) -> float:
+    return time_ps / _PS_PER_US
+
+
+def _jsonable(details: Dict[str, object]) -> Dict[str, object]:
+    """Coerce detail values to JSON-safe types (enums, bytes...)."""
+    out = {}
+    for key, value in details.items():
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+class _TidAllocator:
+    """Stable source -> tid mapping in order of first appearance."""
+
+    def __init__(self) -> None:
+        self._tids: Dict[str, int] = {}
+        self.metadata: List[dict] = []
+
+    def tid(self, source: str) -> int:
+        tid = self._tids.get(source)
+        if tid is None:
+            tid = len(self._tids)
+            self._tids[source] = tid
+            self.metadata.append({
+                "ph": "M", "name": "thread_name", "pid": TRACE_PID,
+                "tid": tid, "args": {"name": source},
+            })
+        return tid
+
+
+def chrome_trace_events(trace: Union[EventTrace, Sequence[EventTrace]],
+                        registry=None) -> List[dict]:
+    """The ``traceEvents`` list for one or more traces.
+
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) adds a
+    counter track per sampled gauge.  Open spans are skipped — they have
+    no duration to report.
+    """
+    traces = [trace] if isinstance(trace, EventTrace) else list(trace)
+    tids = _TidAllocator()
+    events: List[dict] = []
+    for tr in traces:
+        for span in tr.spans:
+            if span.is_open:
+                continue
+            events.append({
+                "ph": "X", "name": span.name, "cat": span.source,
+                "ts": _ts(span.begin_ps), "dur": _ts(span.duration_ps),
+                "pid": TRACE_PID, "tid": tids.tid(span.source),
+                "args": _jsonable(span.details),
+            })
+        for record in tr.records:
+            events.append({
+                "ph": "i", "name": record.event, "cat": record.source,
+                "ts": _ts(record.time_ps), "pid": TRACE_PID,
+                "tid": tids.tid(record.source), "s": "t",
+                "args": _jsonable(record.details),
+            })
+    if registry is not None:
+        for gauge in registry.sampled_gauges():
+            tid = tids.tid(gauge.name)
+            for time_ps, value in gauge.series:
+                events.append({
+                    "ph": "C", "name": gauge.name, "ts": _ts(time_ps),
+                    "pid": TRACE_PID, "tid": tid,
+                    "args": {"value": value},
+                })
+    events.sort(key=lambda e: e["ts"])
+    return tids.metadata + events
+
+
+def export_chrome_trace(trace: Union[EventTrace, Sequence[EventTrace]],
+                        path: Optional[str] = None,
+                        registry=None) -> dict:
+    """Build the trace document; write it to ``path`` when given.
+
+    Returns the document as a dict (``{"traceEvents": [...],
+    "displayTimeUnit": "ns"}``); the file form is deterministic JSON
+    with sorted keys.
+    """
+    document = {
+        "traceEvents": chrome_trace_events(trace, registry=registry),
+        "displayTimeUnit": "ns",
+    }
+    if path is not None:
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    return document

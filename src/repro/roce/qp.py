@@ -110,13 +110,25 @@ class QueuePairState:
 
 class QueuePairTable:
     """QPN-indexed table of :class:`QueuePairState` with a fixed capacity
-    (the compile-time QP count of Section 4.1)."""
+    (the compile-time QP count of Section 4.1).
 
-    def __init__(self, capacity: int) -> None:
+    When given a :class:`~repro.obs.metrics.MetricsRegistry` the table
+    publishes ``<prefix>.created`` (counter) and ``<prefix>.active``
+    (gauge) so snapshots show how much of the compile-time QP budget a
+    run consumed.
+    """
+
+    def __init__(self, capacity: int, registry=None,
+                 prefix: str = "qps") -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._entries: Dict[int, QueuePairState] = {}
+        self._created = None
+        self._active = None
+        if registry is not None:
+            self._created = registry.counter(f"{prefix}.created")
+            self._active = registry.gauge(f"{prefix}.active")
 
     def create(self, qpn: int, dest_qpn: int, dest_ip: int) -> QueuePairState:
         if qpn in self._entries:
@@ -125,6 +137,9 @@ class QueuePairTable:
             raise ValueError(f"QP table full ({self.capacity} entries)")
         state = QueuePairState(qpn=qpn, dest_qpn=dest_qpn, dest_ip=dest_ip)
         self._entries[qpn] = state
+        if self._created is not None:
+            self._created.add()
+            self._active.set(len(self._entries))
         return state
 
     def get(self, qpn: int) -> QueuePairState:

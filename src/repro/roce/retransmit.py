@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from ..obs.runtime import registry_for
 from ..sim import Simulator
 
 
@@ -21,15 +22,18 @@ class RetransmissionTimer:
     """
 
     def __init__(self, env: Simulator, timeout: int,
-                 callback: Callable[[int], object]) -> None:
+                 callback: Callable[[int], object],
+                 name: str = "timer") -> None:
         if timeout <= 0:
             raise ValueError("timeout must be positive")
         self.env = env
         self.timeout = timeout
         self.callback = callback
+        self.name = name
         self._versions: Dict[int, int] = {}
         self._armed: Dict[int, bool] = {}
-        self.expirations = 0
+        self.expirations = registry_for(env).counter(
+            f"{name}.expirations")
 
     def arm(self, qpn: int) -> None:
         """(Re)start the timer for ``qpn``."""
@@ -50,7 +54,7 @@ class RetransmissionTimer:
         yield self.env.timeout(self.timeout)
         if self._armed.get(qpn) and self._versions.get(qpn) == version:
             self._armed[qpn] = False
-            self.expirations += 1
+            self.expirations.add()
             result = self.callback(qpn)
             # Allow generator callbacks (processes) as well as plain calls.
             if result is not None and hasattr(result, "send"):

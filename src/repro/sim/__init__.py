@@ -18,7 +18,7 @@ from .events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
 from .resources import BandwidthLink, Resource
 from .stats import Counter, LatencySample, LatencySummary, ThroughputMeter, percentile
 from .timebase import MS, NS, PS, SEC, US
-from .trace import EventTrace, TraceRecord
+from .trace import EventTrace, SpanRecord, TraceRecord
 
 __all__ = [
     "AllOf",
@@ -27,6 +27,7 @@ __all__ = [
     "Counter",
     "Event",
     "EventTrace",
+    "SpanRecord",
     "TraceRecord",
     "Interrupt",
     "LatencySample",

@@ -5,6 +5,18 @@ and every packet transmission, reception, ack/nak, and retransmission is
 recorded with its timestamp.  Used by the debugging workflow and by
 tests that assert on protocol-level behaviour (e.g. "exactly one NAK was
 sent", "no retransmissions happened on a clean link").
+
+Two record shapes:
+
+- **instants** (:class:`TraceRecord`) — a point in time ("tx", "nak");
+- **spans** (:class:`SpanRecord`) — a begin/end pair with a duration
+  (a DMA transfer, a frame's residency in a switch queue, one kernel
+  invocation).  Open a span with :meth:`EventTrace.begin_span`, close
+  it with :meth:`EventTrace.end_span`; spans that are still open when
+  the run ends simply stay open (exporters skip them).
+
+:func:`repro.obs.chrome_trace.export_chrome_trace` turns both into
+Chrome trace-event JSON loadable in Perfetto.
 """
 
 from __future__ import annotations
@@ -38,6 +50,39 @@ class TraceRecord:
                f"{self.event:12s} {fields}"
 
 
+@dataclass
+class SpanRecord:
+    """One traced duration: begun, and possibly ended."""
+
+    begin_ps: int
+    source: str
+    name: str
+    details: Dict[str, object] = field(default_factory=dict)
+    end_ps: Optional[int] = None
+
+    @property
+    def is_open(self) -> bool:
+        return self.end_ps is None
+
+    @property
+    def duration_ps(self) -> int:
+        if self.end_ps is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_ps - self.begin_ps
+
+    @property
+    def begin_us(self) -> float:
+        return timebase.to_micros(self.begin_ps)
+
+    def __str__(self) -> str:
+        end = f"{timebase.to_micros(self.end_ps):.3f}us" \
+            if self.end_ps is not None else "open"
+        fields = " ".join(f"{k}={v}" for k, v in sorted(
+            self.details.items()))
+        return f"[{self.begin_us:10.3f}us..{end}] {self.source:12s} " \
+               f"{self.name:12s} {fields}"
+
+
 class EventTrace:
     """Bounded in-memory event recorder."""
 
@@ -47,6 +92,7 @@ class EventTrace:
         self.env = env
         self.capacity = capacity
         self.records: List[TraceRecord] = []
+        self.spans: List[SpanRecord] = []
         self.dropped = 0
 
     def record(self, source: str, event: str, **details: object) -> None:
@@ -56,6 +102,46 @@ class EventTrace:
         self.records.append(TraceRecord(time_ps=self.env.now,
                                         source=source, event=event,
                                         details=details))
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def begin_span(self, source: str, name: str,
+                   **details: object) -> Optional[SpanRecord]:
+        """Open a span at the current time; returns the handle to pass
+        to :meth:`end_span` (None when the capacity is exhausted —
+        ``end_span(None)`` is a no-op, so call sites need no guard)."""
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            return None
+        span = SpanRecord(begin_ps=self.env.now, source=source,
+                          name=name, details=details)
+        self.spans.append(span)
+        return span
+
+    def end_span(self, span: Optional[SpanRecord],
+                 **details: object) -> None:
+        """Close ``span`` at the current time; extra details merge in."""
+        if span is None:
+            return
+        if span.end_ps is not None:
+            raise ValueError(f"span {span.name!r} already ended")
+        span.end_ps = self.env.now
+        if details:
+            span.details.update(details)
+
+    def completed_spans(self, source: Optional[str] = None,
+                        name: Optional[str] = None) -> List[SpanRecord]:
+        """Closed spans matching the given source and/or span name."""
+        out = [s for s in self.spans if not s.is_open]
+        if source is not None:
+            out = [s for s in out if s.source == source]
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        return out
+
+    def open_spans(self) -> List[SpanRecord]:
+        return [s for s in self.spans if s.is_open]
 
     def filter(self, source: Optional[str] = None,
                event: Optional[str] = None) -> List[TraceRecord]:
@@ -87,6 +173,7 @@ class EventTrace:
 
     def clear(self) -> None:
         self.records.clear()
+        self.spans.clear()
         self.dropped = 0
 
     def __len__(self) -> int:

@@ -5,6 +5,7 @@ import pytest
 from repro.config import NIC_10G, NIC_100G, scaled_config
 from repro.host import build_fabric
 from repro.net import LinkFaults
+from repro.obs import registry_for
 from repro.sim import MS, US, Simulator, timebase
 
 
@@ -31,6 +32,16 @@ def test_write_moves_bytes(fabric):
 
     run_proc(env, proc(), limit=MS)
     assert fabric.server.space.read(dst.vaddr, len(payload)) == payload
+    # Metrics view of the clean single-packet exchange: one data packet
+    # out, the matching ACK back, nothing retransmitted or NAK'd.
+    snap = registry_for(env).snapshot()
+    assert snap["client.nic.pkts_tx"] == 1
+    assert snap["server.nic.acks_tx"] == 1
+    assert snap["server.nic.naks_tx"] == 0
+    assert snap["client.nic.retransmits"] == 0
+    assert snap["client.nic.payload_tx"] == len(payload)
+    assert snap["server.nic.dma.bytes_written"] == len(payload)
+    assert snap["cable.dropped"] == 0
 
 
 def test_write_latency_plausible(fabric):
@@ -241,6 +252,13 @@ def test_write_with_loss_recovers():
     assert fabric.server.space.read(dst.vaddr, size) == payload
     total_retx = int(fabric.client.nic.retransmitted)
     assert total_retx >= 1  # losses at 10% over ~25 packets
+    # Registry view: drops happened, and recovery (retransmits and/or
+    # NAK-triggered go-back-N) accounts for them.
+    snap = registry_for(env).snapshot()
+    assert snap["cable.dropped"] >= 1
+    assert snap["client.nic.retransmits"] == total_retx
+    assert snap["client.nic.retransmits"] + snap["server.nic.naks_tx"] \
+        >= 1
 
 
 def test_read_with_loss_recovers():

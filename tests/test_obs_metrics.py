@@ -1,0 +1,210 @@
+"""Tests for the metrics registry: instruments, snapshots, merge."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    registry_for,
+)
+from repro.sim import Simulator
+from repro.sim.stats import percentile
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+def test_counter_is_monotonic():
+    c = Counter("nic0.pkts")
+    c.add()
+    c.add(4)
+    assert c.value == 5
+    assert int(c) == 5
+    with pytest.raises(ValueError):
+        c.add(-1)
+
+
+def test_gauge_set_vs_sample():
+    g = Gauge("sw0.p1.queue_depth")
+    g.set(3)
+    assert g.value == 3
+    assert g.series == []
+    g.sample(1000, 7)
+    g.sample(2000, 2)
+    assert g.value == 2
+    assert g.series == [(1000, 7), (2000, 2)]
+
+
+def test_instrument_requires_name():
+    with pytest.raises(ValueError):
+        Counter("")
+
+
+# ---------------------------------------------------------------------------
+# Registration semantics
+# ---------------------------------------------------------------------------
+
+def test_create_or_get_returns_shared_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("nic0.qp3.retransmits")
+    b = reg.counter("nic0.qp3.retransmits")
+    assert a is b
+    a.add()
+    assert b.value == 1
+    assert len(reg) == 1
+
+
+def test_kind_collision_raises():
+    reg = MetricsRegistry()
+    reg.counter("x.depth")
+    with pytest.raises(MetricsError):
+        reg.gauge("x.depth")
+    with pytest.raises(MetricsError):
+        reg.histogram("x.depth")
+    # the original registration survives the failed re-registration
+    assert reg.get("x.depth").kind == "counter"
+
+
+def test_prefix_lookup_is_sorted():
+    reg = MetricsRegistry()
+    reg.counter("nic0.qp2.retransmits")
+    reg.counter("nic0.qp1.retransmits")
+    reg.counter("nic1.qp1.retransmits")
+    names = [i.name for i in reg.instruments("nic0.")]
+    assert names == ["nic0.qp1.retransmits", "nic0.qp2.retransmits"]
+    assert len(reg.instruments()) == 3
+
+
+# ---------------------------------------------------------------------------
+# Histogram percentiles agree with sim.stats.percentile
+# ---------------------------------------------------------------------------
+
+def test_histogram_percentiles_match_sim_stats():
+    rng = random.Random(7)
+    values = [rng.uniform(0, 1000) for _ in range(257)]
+    h = Histogram("lat")
+    h.extend(values)
+    ordered = sorted(values)
+    for fraction in (0.0, 0.01, 0.50, 0.73, 0.99, 1.0):
+        assert h.percentile(fraction) == percentile(ordered, fraction)
+    got = h.percentiles([0.50, 0.99])
+    assert got[0.50] == percentile(ordered, 0.50)
+    assert got[0.99] == percentile(ordered, 0.99)
+
+
+def test_histogram_empty_percentile_raises():
+    h = Histogram("lat")
+    with pytest.raises(ValueError):
+        h.percentile(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+
+def _loaded_registry():
+    reg = MetricsRegistry()
+    reg.counter("nic0.pkts_tx").add(10)
+    reg.gauge("sw0.p0.queue_depth").set(4)
+    reg.histogram("kv.lat").extend([1.0, 2.0, 3.0, 4.0])
+    return reg
+
+
+def test_snapshot_flattens_histograms():
+    snap = _loaded_registry().snapshot()
+    flat = snap.as_flat_dict()
+    assert flat["nic0.pkts_tx"] == 10
+    assert flat["sw0.p0.queue_depth"] == 4
+    assert flat["kv.lat.count"] == 4
+    assert flat["kv.lat.sum"] == 10.0
+    assert flat["kv.lat.min"] == 1.0
+    assert flat["kv.lat.max"] == 4.0
+    assert flat["kv.lat.p50"] == percentile([1.0, 2.0, 3.0, 4.0], 0.50)
+    assert flat["kv.lat.p99"] == percentile([1.0, 2.0, 3.0, 4.0], 0.99)
+    assert list(flat) == sorted(flat)
+
+
+def test_snapshot_diff_subtracts_monotonic_keeps_levels():
+    reg = _loaded_registry()
+    older = reg.snapshot()
+    reg.counter("nic0.pkts_tx").add(5)
+    reg.gauge("sw0.p0.queue_depth").set(1)
+    reg.histogram("kv.lat").record(5.0)
+    delta = reg.snapshot().diff(older)
+    assert delta["nic0.pkts_tx"] == 5
+    assert delta["kv.lat.count"] == 1
+    assert delta["kv.lat.sum"] == 5.0
+    assert delta["sw0.p0.queue_depth"] == 1  # level: newer value
+
+
+def test_snapshot_json_round_trip(tmp_path):
+    snap = _loaded_registry().snapshot()
+    path = tmp_path / "metrics.json"
+    snap.write_json(str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == snap.as_flat_dict()
+    # deterministic: a second serialization is byte-identical
+    assert snap.to_json() == _loaded_registry().snapshot().to_json()
+
+
+def test_snapshot_equality():
+    assert _loaded_registry().snapshot() == _loaded_registry().snapshot()
+    other = _loaded_registry()
+    other.counter("nic0.pkts_tx").add()
+    assert other.snapshot() != _loaded_registry().snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Merge
+# ---------------------------------------------------------------------------
+
+def test_merge_sums_counters_pools_histograms_maxes_gauges():
+    a = MetricsRegistry()
+    a.counter("nic.retransmits").add(2)
+    a.gauge("sw.depth").sample(100, 5)
+    a.histogram("lat").extend([1.0, 3.0])
+    b = MetricsRegistry()
+    b.counter("nic.retransmits").add(3)
+    b.gauge("sw.depth").sample(50, 2)
+    b.histogram("lat").extend([2.0])
+    b.counter("only_b").add(1)
+
+    merged = MetricsRegistry.merge([a, b], name="all")
+    assert merged.counter("nic.retransmits").value == 5
+    assert merged.counter("only_b").value == 1
+    gauge = merged.gauge("sw.depth")
+    assert gauge.value == 5  # max level
+    assert gauge.series == [(50, 2), (100, 5)]  # time-sorted
+    assert sorted(merged.histogram("lat").values) == [1.0, 2.0, 3.0]
+    # merge owns copies: mutating an input does not leak in
+    a.counter("nic.retransmits").add(100)
+    assert merged.counter("nic.retransmits").value == 5
+
+
+def test_merge_kind_collision_raises():
+    a = MetricsRegistry()
+    a.counter("x")
+    b = MetricsRegistry()
+    b.gauge("x")
+    with pytest.raises(MetricsError):
+        MetricsRegistry.merge([a, b])
+
+
+# ---------------------------------------------------------------------------
+# Per-simulator attachment
+# ---------------------------------------------------------------------------
+
+def test_registry_for_is_per_simulator():
+    env1, env2 = Simulator(), Simulator()
+    reg1 = registry_for(env1)
+    assert registry_for(env1) is reg1
+    assert registry_for(env2) is not reg1
+    # sampling is off outside an observe() session
+    assert reg1.sampling_enabled is False

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.host import build_fabric
 from repro.net import LinkFaults
+from repro.obs import registry_for
 from repro.sim import MS, Simulator
 
 
@@ -60,14 +61,36 @@ def run_workload(seed, drop, corrupt, num_ops):
 def test_stress_clean_link():
     fabric = run_workload(seed=1, drop=0.0, corrupt=0.0, num_ops=40)
     assert int(fabric.client.nic.retransmitted) == 0
+    # The same invariants, read through the metrics registry: a clean
+    # link produces no retransmits, NAKs, drops, or timer expirations
+    # on either side.
+    snap = registry_for(fabric.env).snapshot()
+    assert snap["cable.dropped"] == 0
+    assert snap["cable.corrupted"] == 0
+    assert snap["cable.delivered"] > 0
+    for host in ("client", "server"):
+        assert snap[f"{host}.nic.retransmits"] == 0
+        assert snap[f"{host}.nic.naks_tx"] == 0
+        assert snap[f"{host}.nic.pkts_dropped"] == 0
+        assert snap[f"{host}.nic.timer.expirations"] == 0
 
 
 @pytest.mark.parametrize("seed", [2, 3, 4])
 def test_stress_lossy_link(seed):
     fabric = run_workload(seed=seed, drop=0.05, corrupt=0.0, num_ops=25)
     # With 5% loss over hundreds of packets, recovery must have kicked in.
-    assert int(fabric.client.nic.retransmitted) \
-        + int(fabric.server.nic.retransmitted) >= 0  # converged is enough
+    snap = registry_for(fabric.env).snapshot()
+    assert snap["cable.dropped"] > 0
+    # every drop of a request or response leaves a retransmission (or a
+    # timer expiration that triggered one) somewhere in the fabric
+    total_retx = snap["client.nic.retransmits"] \
+        + snap["server.nic.retransmits"]
+    assert total_retx >= 1
+    # registry counters and the NIC attributes are the same instruments
+    assert snap["client.nic.retransmits"] == \
+        int(fabric.client.nic.retransmitted)
+    assert snap["server.nic.retransmits"] == \
+        int(fabric.server.nic.retransmitted)
 
 
 def test_stress_corrupting_link():

@@ -108,3 +108,27 @@ def test_throughput_meter():
 def test_throughput_meter_no_time():
     meter = ThroughputMeter()
     assert meter.gbit_per_second() == 0.0
+
+
+def test_throughput_meter_zero_elapsed_with_bytes():
+    """Bytes recorded at the very instant the window opened must not
+    divide by zero — the rate of an empty interval is 0."""
+    meter = ThroughputMeter()
+    meter.start(5 * US)
+    meter.record_bytes(4096, 5 * US)
+    assert meter.gbit_per_second() == 0.0
+
+
+def test_throughput_meter_start_after_records():
+    """A window opened after the last recorded byte (negative elapsed)
+    also reports 0 instead of a negative or infinite rate."""
+    meter = ThroughputMeter()
+    meter.record_bytes(1250, 1 * US)
+    meter.start(2 * US)
+    assert meter.gbit_per_second() == 0.0
+
+
+def test_throughput_meter_rejects_negative_bytes():
+    meter = ThroughputMeter()
+    with pytest.raises(ValueError):
+        meter.record_bytes(-1, 0)
