@@ -35,6 +35,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.cluster_scaling import run_cluster_point  # noqa: E402
+from repro.experiments.fault_sweep import run_fault_point  # noqa: E402
 from repro.sim.timebase import MS  # noqa: E402
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__),
@@ -44,6 +45,10 @@ BASELINE_PATH = os.path.join(os.path.dirname(__file__),
 SHARDS = 2
 OFFERED_PER_SHARD = 120_000.0
 WINDOWS = {"smoke": MS, "full": 4 * MS}
+#: The degraded scenario: same point under 1% Gilbert-Elliott bursty
+#: loss with replica failover enabled (gates the recovery path's
+#: goodput the same way the clean gate protects the fast path).
+LOSSY_MEAN_LOSS = 0.01
 
 
 def run_point(mode: str) -> dict:
@@ -59,6 +64,24 @@ def run_point(mode: str) -> dict:
         "p50_us": pct[0.50],
         "p99_us": pct[0.99],
         "issued": report.issued,
+        "wall_s": round(wall, 3),
+    }
+
+
+def run_lossy_point(mode: str) -> dict:
+    start = time.perf_counter()
+    row = run_fault_point(LOSSY_MEAN_LOSS, crash=False, seed=1,
+                          num_shards=SHARDS,
+                          offered_per_shard=OFFERED_PER_SHARD,
+                          window_ps=WINDOWS[mode])
+    wall = time.perf_counter() - start
+    return {
+        "achieved_kops": row["goodput_kops"],
+        "p50_us": row["p50_us"],
+        "p99_us": row["p99_us"],
+        "issued": row["issued"],
+        "retransmits": row["retransmits"],
+        "recoveries": row["recoveries"],
         "wall_s": round(wall, 3),
     }
 
@@ -93,26 +116,36 @@ def main(argv=None) -> int:
                         help=f"rewrite {BASELINE_PATH} (smoke + full)")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional regression (default 0.30)")
+    parser.add_argument("--lossy", action="store_true",
+                        help=f"run the {LOSSY_MEAN_LOSS:.0%} bursty-loss "
+                             "scenario instead of the clean one")
     parser.add_argument("--json", metavar="FILE",
                         help="also dump measured metrics to FILE")
     args = parser.parse_args(argv)
 
     if args.update_baseline:
         payload = {mode: run_point(mode) for mode in WINDOWS}
+        payload.update({f"lossy-{mode}": run_lossy_point(mode)
+                        for mode in WINDOWS})
         with open(BASELINE_PATH, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"baseline written to {BASELINE_PATH}")
         return 0
 
-    mode = "smoke" if args.smoke else "full"
-    measured = run_point(mode)
+    window = "smoke" if args.smoke else "full"
+    if args.lossy:
+        mode = f"lossy-{window}"
+        measured = run_lossy_point(window)
+    else:
+        mode = window
+        measured = run_point(window)
     baseline = load_baseline().get(mode) \
         if os.path.exists(BASELINE_PATH) else None
 
     print(f"mode={mode}  shards={SHARDS}  "
           f"offered={SHARDS * OFFERED_PER_SHARD / 1e3:.0f} kops/s")
-    for key in ("achieved_kops", "p50_us", "p99_us", "issued", "wall_s"):
+    for key in sorted(measured):
         base = baseline.get(key) if baseline else None
         print(f"{key:>14}  {measured[key]:>10.2f}  "
               f"(baseline {base if base is not None else '-'})")

@@ -20,7 +20,9 @@ from .sharded_kv import (
     GET_PATHS,
     TCP_HANDLER_CPU,
     HashRing,
+    KvUnavailable,
     PutResult,
+    RetryPolicy,
     ShardedKvClient,
     ShardedKvService,
 )
@@ -49,7 +51,9 @@ __all__ = [
     "DEFAULT_PERCENTILES",
     "GET_PATHS",
     "HashRing",
+    "KvUnavailable",
     "PutResult",
+    "RetryPolicy",
     "SWITCH_DEFAULT",
     "ShardedKvClient",
     "ShardedKvService",

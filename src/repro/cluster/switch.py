@@ -74,6 +74,9 @@ class SwitchPort:
         self.index = index
         self.cable = cable
         self.name = name
+        #: False while the port is blacked out (fault injection): frames
+        #: in either direction are discarded at the port.
+        self.up = True
         #: Bounded output queue: ``try_put`` failure == tail-drop.
         self.queue = Stream(env, capacity=config.buffer_frames,
                             name=f"{name}.q")
@@ -82,6 +85,8 @@ class SwitchPort:
         self.frames_in = metrics.counter(f"{name}.in")
         self.frames_out = metrics.counter(f"{name}.out")
         self.tail_drops = metrics.counter(f"{name}.tail_drops")
+        #: Frames discarded (either direction) while blacked out.
+        self.blackout_drops = metrics.counter(f"{name}.blackout_drops")
         #: Sampled queue-depth time series (only while observing).
         self.depth_gauge = metrics.gauge(f"{name}.queue_depth")
         #: Queue-residency span handles, FIFO with the queue itself.
@@ -151,6 +156,23 @@ class Switch:
     def port_for_mac(self, mac: bytes) -> Optional[int]:
         return self._mac_table.get(mac)
 
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def set_port_up(self, port_index: int, up: bool) -> None:
+        """Black out (or restore) one port: while down, frames arriving
+        on the port and frames dequeued toward it are discarded.  The MAC
+        table is left intact — a blackout models a dead transceiver or a
+        pulled cable at the switch end, not a topology change."""
+        if not 0 <= port_index < len(self.ports):
+            raise ValueError(f"no such port {port_index}")
+        port = self.ports[port_index]
+        if port.up != up:
+            if self.trace is not None:
+                self.trace.record(port.name,
+                                  "port_up" if up else "port_blackout")
+        port.up = up
+
     def __len__(self) -> int:
         return len(self.ports)
 
@@ -161,6 +183,10 @@ class Switch:
         """Receive frames on one port, learn, look up, enqueue."""
         while True:
             packet = yield port.rx.get()
+            if not port.up:
+                port.blackout_drops.add()
+                self.frames_dropped.add()
+                continue
             port.frames_in.add()
             self.learn(mac_for_ip(packet.src_ip), port.index)
             yield self.env.timeout(self.config.forwarding_latency)
@@ -202,6 +228,10 @@ class Switch:
                 port.depth_gauge.sample(self.env.now, len(port.queue))
             if self.fabric is not None:
                 yield from self.fabric.transfer(packet.wire_bytes)
+            if not port.up:
+                port.blackout_drops.add()
+                self.frames_dropped.add()
+                continue
             port.frames_out.add()
             yield port.tx.put(packet)
             yield self.env.timeout(

@@ -30,7 +30,7 @@ from typing import Dict, List, Sequence
 
 from ..sim import LatencySample, Simulator, timebase
 from ..sim.timebase import MS, SEC
-from .sharded_kv import ShardedKvClient, ShardedKvService
+from .sharded_kv import KvUnavailable, ShardedKvClient, ShardedKvService
 
 #: Knuth's multiplicative-hash constant (odd, prime): rank -> key
 #: scattering bijection for any keyspace smaller than it.
@@ -128,6 +128,10 @@ class WorkloadReport:
     completed_in_window: int
     drain_ps: int
     per_client: List[LatencySample] = field(default_factory=list)
+    #: Operations that exhausted the client retry budget
+    #: (:class:`~repro.cluster.sharded_kv.KvUnavailable`); they count as
+    #: *completed* for drain purposes but never as goodput.
+    failed: int = 0
 
     @property
     def merged(self) -> LatencySample:
@@ -160,7 +164,7 @@ def run_open_loop(env: Simulator, clients: List[ShardedKvClient],
     if not clients:
         raise ValueError("need at least one client")
     samples = [LatencySample(f"client{i}") for i in range(len(clients))]
-    state = {"issued": 0, "completed": 0, "in_window": 0,
+    state = {"issued": 0, "completed": 0, "in_window": 0, "failed": 0,
              "generating": len(clients)}
     done = env.event()
     window_end = env.now + config.window_ps
@@ -171,16 +175,24 @@ def run_open_loop(env: Simulator, clients: List[ShardedKvClient],
     def one_op(client_index: int, key: int, is_read: bool):
         start = env.now
         client = clients[client_index]
-        if is_read:
-            yield from client.get(key, path=config.get_path,
-                                  value_size=config.value_bytes)
-        else:
-            yield from client.put(
-                key, value_for_key(key, config.value_bytes))
-        samples[client_index].record(env.now - start)
+        failed = False
+        try:
+            if is_read:
+                yield from client.get(key, path=config.get_path,
+                                      value_size=config.value_bytes)
+            else:
+                yield from client.put(
+                    key, value_for_key(key, config.value_bytes))
+        except KvUnavailable:
+            # Retry budget exhausted: degraded goodput, not a hang.
+            failed = True
         state["completed"] += 1
-        if env.now <= window_end:
-            state["in_window"] += 1
+        if failed:
+            state["failed"] += 1
+        else:
+            samples[client_index].record(env.now - start)
+            if env.now <= window_end:
+                state["in_window"] += 1
         if state["generating"] == 0 \
                 and state["completed"] == state["issued"] \
                 and not done.triggered:
@@ -216,4 +228,5 @@ def run_open_loop(env: Simulator, clients: List[ShardedKvClient],
                           completed=state["completed"],
                           completed_in_window=state["in_window"],
                           drain_ps=env.now - start,
-                          per_client=samples)
+                          per_client=samples,
+                          failed=state["failed"])

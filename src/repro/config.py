@@ -102,8 +102,18 @@ class NicConfig:
     num_queue_pairs: int = 500
     #: Total outstanding RDMA READs across all QPs (Multi-Queue depth).
     max_outstanding_reads: int = 32
-    #: Retransmission timeout per queue pair.
+    #: Retransmission timeout per queue pair.  The hardware decrements a
+    #: fixed interval; the recovery extensions below only engage once a
+    #: timeout actually expires, so clean links behave exactly as §4.1.
     retransmit_timeout: int = 100 * US
+    #: Consecutive expirations without progress before the QP transitions
+    #: to the error state and completes outstanding WRs with error status.
+    retransmit_max_retries: int = 8
+    #: Ceiling on the exponentially backed-off retransmission deadline.
+    retransmit_backoff_cap: int = 1600 * US
+    #: Uniform jitter (0..jitter) added to backed-off deadlines so QPs
+    #: recovering from one fault event do not retry in lockstep.
+    retransmit_jitter: int = 10 * US
     #: TLB capacity (§4.2): 16,384 entries of 2 MB huge pages -> 32 GB.
     tlb_entries: int = 16384
     page_bytes: int = 2 * 1024 * 1024

@@ -40,6 +40,7 @@ from .ablations import (
 )
 from .cluster_scaling import cluster_scaling_experiment
 from .common import ExperimentResult
+from .fault_sweep import fault_sweep_experiment
 from .fig05_microbench import (
     latency_experiment,
     message_rate_experiment,
@@ -57,7 +58,8 @@ from .table3_resources import table3_experiment, virtex7_experiment
 from .validation import flow_vs_detailed_experiment, stack_budget_experiment
 
 
-def _registry(fast: bool) -> Dict[str, Callable[[], ExperimentResult]]:
+def _registry(fast: bool,
+              seed: int = 7) -> Dict[str, Callable[[], ExperimentResult]]:
     # Flow-model sweep points (repro.experiments.flowmodel) are memoized
     # per (config, payload) with lru_cache, so operating points shared
     # between figure families are computed once per run.
@@ -96,13 +98,19 @@ def _registry(fast: bool) -> Dict[str, Callable[[], ExperimentResult]]:
             shard_counts=(1, 2) if fast else (1, 2, 3, 4),
             offered_per_shard=60_000.0 if fast else 120_000.0,
             window_ps=MS if fast else 2 * MS),
+        "fault-sweep": lambda: fault_sweep_experiment(
+            loss_levels=(0.0, 0.03) if fast else (0.0, 0.01, 0.03, 0.10),
+            crash_modes=(True,) if fast else (False, True),
+            seed=seed,
+            offered_per_shard=40_000.0 if fast else 60_000.0,
+            window_ps=MS if fast else 2 * MS),
     }
 
 
 def run_experiments(names: List[str] = None, fast: bool = False,
-                    stream=None) -> List[ExperimentResult]:
+                    stream=None, seed: int = 7) -> List[ExperimentResult]:
     stream = stream or sys.stdout
-    registry = _registry(fast)
+    registry = _registry(fast, seed=seed)
     selected = names or list(registry)
     unknown = [n for n in selected if n not in registry]
     if unknown:
@@ -164,6 +172,12 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write the run's merged metrics snapshot "
                              "as JSON")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="base seed for seeded experiments "
+                             "(fault-sweep); same seed, same JSON")
+    parser.add_argument("--json", metavar="FILE", dest="json_out",
+                        help="write result rows as deterministic JSON "
+                             "(sorted keys, no timing noise)")
     args = parser.parse_args(argv)
 
     if args.experiments and args.experiments[0] == "report":
@@ -180,7 +194,7 @@ def main(argv=None) -> int:
     if observing:
         with observe(tracing=bool(args.trace_out)) as session:
             results = run_experiments(args.experiments or None,
-                                      fast=args.fast)
+                                      fast=args.fast, seed=args.seed)
         if args.trace_out:
             session.write_trace(args.trace_out)
             print(f"chrome trace written to {args.trace_out}")
@@ -188,10 +202,17 @@ def main(argv=None) -> int:
             session.write_metrics(args.metrics_out)
             print(f"metrics snapshot written to {args.metrics_out}")
     else:
-        results = run_experiments(args.experiments or None, fast=args.fast)
+        results = run_experiments(args.experiments or None, fast=args.fast,
+                                  seed=args.seed)
     if args.markdown:
         write_markdown_report(results, args.markdown)
         print(f"markdown report written to {args.markdown}")
+    if args.json_out:
+        payload = {r.experiment_id: r.rows for r in results}
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"result rows written to {args.json_out}")
     return 0
 
 

@@ -1,0 +1,12 @@
+"""Fault injection: deterministic scheduled chaos against live topologies.
+
+See DESIGN.md, "Fault model & recovery" for the fault taxonomy and the
+determinism guarantees.
+"""
+
+from .schedule import FaultEvent, FaultSchedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+]

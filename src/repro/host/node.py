@@ -19,7 +19,17 @@ from ..memory import AddressSpace, PhysicalMemory, Region
 from ..net.link import Cable, LinkFaults  # Cable: Fabric field annotation
 from ..nic.dma import MmioPath
 from ..nic.nic import NicCommand, StromNic
+from ..roce.qp import QpError
 from ..sim import Event, Simulator
+
+
+def _check_completion(value):
+    """Work completions carry the completion time, or a :class:`QpError`
+    when the QP transitioned to the error state: raise the latter so
+    synchronous verbs surface transport failure to the caller."""
+    if isinstance(value, QpError):
+        raise value
+    return value
 
 
 class HostNode:
@@ -79,7 +89,7 @@ class HostNode:
         """WRITE and wait for the ACK."""
         completion = yield from self.write(qpn, laddr, raddr, length)
         yield completion
-        return completion.value
+        return _check_completion(completion.value)
 
     def read(self, qpn: int, laddr: int, raddr: int, length: int):
         """RDMA READ ``length`` bytes from remote ``raddr`` into local
@@ -96,7 +106,7 @@ class HostNode:
         """READ and wait for the data to land in local memory."""
         completion = yield from self.read(qpn, laddr, raddr, length)
         yield completion
-        return completion.value
+        return _check_completion(completion.value)
 
     def post_rpc(self, qpn: int, rpc_opcode: int, params: bytes):
         """Listing 5's ``postRpc``: invoke a kernel on the remote NIC.

@@ -8,10 +8,20 @@ from .headers import (
     ipv4_checksum,
     parse_ip,
 )
-from .link import Cable, LinkFaults, link_seed
+from .link import (
+    FAULT_SEED_ENV,
+    Cable,
+    GilbertElliott,
+    LinkFaults,
+    effective_fault_seed,
+    link_seed,
+)
 
 __all__ = [
     "Cable",
+    "FAULT_SEED_ENV",
+    "GilbertElliott",
+    "effective_fault_seed",
     "link_seed",
     "EthernetHeader",
     "Ipv4Header",

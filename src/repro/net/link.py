@@ -5,16 +5,53 @@ potential noise introduced by a switch" (Section 6.1); this model does the
 same.  Each direction serializes frames at line rate (store-and-forward),
 then delivers after a fixed propagation/PHY delay, in order.  Loss and
 corruption injection exercise the retransmission path.
+
+Fault model (see DESIGN.md, "Fault model & recovery"):
+
+- **Uniform loss/corruption/duplication** — independent per-frame draws,
+  the original :class:`LinkFaults` knobs.
+- **Gilbert-Elliott bursty loss** — a two-state (good/bad) Markov channel
+  (:class:`GilbertElliott`): per-frame transition draws move the channel
+  between a near-lossless good state and a heavily lossy bad state, so
+  drops arrive in bursts of configurable mean length instead of the
+  memoryless uniform pattern.  This is the loss regime go-back-N is worst
+  at (one burst costs one full retransmission round per lost frame).
+- **Link flaps** — :meth:`Cable.set_up` models carrier loss: while the
+  link is down every frame completing serialization is discarded (both
+  directions) and counted separately from stochastic drops.
+- **Latency spikes** — :meth:`Cable.set_extra_latency` adds a transient
+  extra propagation delay (re-routing, PFC pause storms, shallow-buffer
+  incast) without touching the serialization rate.
+
+All stochastic draws come from one seeded RNG per cable; with per-link
+seed derivation (:func:`link_seed`) every cable in a topology owns an
+independent, reproducible fault schedule.  Set ``REPRO_FAULT_SEED`` in
+the environment to pin every link to one known seed when reproducing a
+stress-test failure (the tests print the effective seeds on failure).
 """
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from ..obs.runtime import registry_for
+from ..obs.runtime import registry_for, trace_for
 from ..sim import Simulator, Stream, timebase
+
+#: Environment variable pinning every link's fault seed (reproduction
+#: aid: protocol-stress failures print the effective seed; exporting it
+#: re-runs the exact same fault schedule regardless of derivation).
+FAULT_SEED_ENV = "REPRO_FAULT_SEED"
+
+
+def effective_fault_seed(seed: int) -> int:
+    """``seed``, unless :data:`FAULT_SEED_ENV` pins a global override."""
+    pinned = os.environ.get(FAULT_SEED_ENV)
+    if pinned is not None:
+        return int(pinned, 0)
+    return seed
 
 
 def link_seed(seed: int, link_name: str) -> int:
@@ -30,6 +67,71 @@ def link_seed(seed: int, link_name: str) -> int:
     return seed ^ (fnv1a64(link_name.encode("utf-8")) & 0x7FFF_FFFF)
 
 
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state Markov loss channel (Gilbert-Elliott).
+
+    Per delivered frame the channel first draws a state transition
+    (good->bad with :attr:`p_good_to_bad`, bad->good with
+    :attr:`p_bad_to_good`), then drops the frame with the loss
+    probability of the resulting state.  The long-run loss rate is
+
+        ``pi_bad * loss_bad + (1 - pi_bad) * loss_good``
+
+    with ``pi_bad = p_good_to_bad / (p_good_to_bad + p_bad_to_good)``,
+    and the mean bad-burst length is ``1 / p_bad_to_good`` frames.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_good: float = 0.0
+    loss_bad: float = 0.5
+
+    def __post_init__(self) -> None:
+        for p in (self.p_good_to_bad, self.p_bad_to_good,
+                  self.loss_good, self.loss_bad):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must be within [0, 1]")
+        if self.p_bad_to_good <= 0.0:
+            raise ValueError("p_bad_to_good must be positive "
+                             "(the bad state must be escapable)")
+
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run fraction of frames seen in the bad state."""
+        total = self.p_good_to_bad + self.p_bad_to_good
+        return self.p_good_to_bad / total if total > 0 else 0.0
+
+    @property
+    def mean_loss(self) -> float:
+        """Long-run per-frame loss probability."""
+        pi_bad = self.stationary_bad
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    @classmethod
+    def from_mean_loss(cls, mean_loss: float, burst_frames: float = 8.0,
+                       loss_bad: float = 0.5) -> "GilbertElliott":
+        """A channel with long-run loss ``mean_loss`` whose bad bursts
+        last ``burst_frames`` frames on average (clean good state).
+
+        This is the sweep axis of the fault-sweep experiment: the mean
+        loss varies while the burst shape stays fixed, so goodput curves
+        isolate the effect of loss *rate* at constant burstiness.
+        """
+        if not 0.0 <= mean_loss < loss_bad:
+            raise ValueError(
+                f"mean loss must be within [0, loss_bad={loss_bad})")
+        if burst_frames < 1.0:
+            raise ValueError("bursts last at least one frame")
+        p_exit = 1.0 / burst_frames
+        pi_bad = mean_loss / loss_bad
+        if pi_bad >= 1.0:
+            raise ValueError("unreachable stationary distribution")
+        p_enter = p_exit * pi_bad / (1.0 - pi_bad)
+        return cls(p_good_to_bad=min(p_enter, 1.0), p_bad_to_good=p_exit,
+                   loss_good=0.0, loss_bad=loss_bad)
+
+
 @dataclass
 class LinkFaults:
     """Fault-injection knobs for one cable direction."""
@@ -39,6 +141,9 @@ class LinkFaults:
     #: Deliver the frame twice (stresses the responder's duplicate-PSN
     #: handling and the requester's stale-ACK tolerance).
     duplicate_probability: float = 0.0
+    #: Bursty (two-state) loss; when set it *replaces* the uniform
+    #: ``drop_probability`` draw so the two models never stack.
+    burst: Optional[GilbertElliott] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -75,7 +180,17 @@ class Cable:
         self.propagation = propagation
         self.faults = faults or LinkFaults()
         self.name = name
-        self._rng = random.Random(self.faults.seed)
+        #: The seed actually feeding this cable's RNG (after any
+        #: ``REPRO_FAULT_SEED`` pin) — printed by stress tests on failure.
+        self.fault_seed = effective_fault_seed(self.faults.seed)
+        self._rng = random.Random(self.fault_seed)
+        #: Carrier state: False models a downed link (fault injection).
+        self.up = True
+        #: Transient extra one-way delay (latency-spike injection).
+        self.extra_latency = 0
+        #: Gilbert-Elliott channel state, one per direction (keyed by the
+        #: TX stream), True while in the bad state.
+        self._burst_bad = {}
 
         self.a_tx: Stream = Stream(env, name=f"{name}.a_tx")
         self.b_tx: Stream = Stream(env, name=f"{name}.b_tx")
@@ -83,17 +198,75 @@ class Cable:
         self.b_rx: Stream = Stream(env, name=f"{name}.b_rx")
 
         self.metrics = registry_for(env)
+        self.trace = trace_for(env)
         self.frames_delivered = self.metrics.counter(f"{name}.delivered")
         self.frames_dropped = self.metrics.counter(f"{name}.dropped")
         self.frames_corrupted = self.metrics.counter(f"{name}.corrupted")
         self.frames_duplicated = self.metrics.counter(f"{name}.duplicated")
+        #: Drops attributable to the Gilbert-Elliott bad state (also
+        #: counted in ``dropped``).
+        self.burst_drops = self.metrics.counter(f"{name}.burst_drops")
+        #: Frames discarded because the carrier was down.
+        self.link_down_drops = self.metrics.counter(
+            f"{name}.link_down_drops")
+        self.link_flaps = self.metrics.counter(f"{name}.link_flaps")
         self.bytes_on_wire = self.metrics.counter(f"{name}.wire_bytes")
-        #: Sampled time series of wire utilization (fraction of elapsed
-        #: time spent serializing), collected only while observing.
+        #: Sampled time series of wire utilization (fraction of the time
+        #: since the previous sample spent serializing), collected only
+        #: while observing.
         self._utilization = self.metrics.gauge(f"{name}.utilization")
+        self._util_anchor_time = 0
+        self._util_anchor_bytes = 0
 
         env.process(self._pump(self.a_tx, self.b_rx))
         env.process(self._pump(self.b_tx, self.a_rx))
+
+    # ------------------------------------------------------------------
+    # Fault-injection surface (driven by repro.faults.FaultSchedule)
+    # ------------------------------------------------------------------
+    def set_up(self, up: bool) -> None:
+        """Raise or cut the carrier.  While down, frames finishing
+        serialization are discarded in both directions (the retransmission
+        machinery recovers once the link returns)."""
+        if up != self.up:
+            self.link_flaps.add()
+            if self.trace is not None:
+                self.trace.record(self.name,
+                                  "link_up" if up else "link_down")
+        self.up = up
+
+    def set_extra_latency(self, extra_ps: int) -> None:
+        """Add (or clear, with 0) a transient one-way delay."""
+        if extra_ps < 0:
+            raise ValueError("extra latency must be non-negative")
+        if self.trace is not None and extra_ps != self.extra_latency:
+            self.trace.record(self.name, "latency_spike",
+                              extra_ps=extra_ps)
+        self.extra_latency = extra_ps
+
+    # ------------------------------------------------------------------
+    # Loss draws
+    # ------------------------------------------------------------------
+    def _drops_frame(self, direction) -> bool:
+        """One per-frame loss draw: Gilbert-Elliott when configured,
+        otherwise the uniform probability."""
+        burst = self.faults.burst
+        if burst is None:
+            return self._rng.random() < self.faults.drop_probability
+        bad = self._burst_bad.get(direction, False)
+        if bad:
+            if self._rng.random() < burst.p_bad_to_good:
+                bad = False
+        else:
+            if self._rng.random() < burst.p_good_to_bad:
+                bad = True
+        self._burst_bad[direction] = bad
+        loss = burst.loss_bad if bad else burst.loss_good
+        if loss and self._rng.random() < loss:
+            if bad:
+                self.burst_drops.add()
+            return True
+        return False
 
     def _pump(self, tx: Stream, rx: Stream):
         """Move packets from one endpoint's TX to the peer's RX."""
@@ -106,12 +279,13 @@ class Cable:
             # frame's serialization.
             yield self.env.timeout(
                 timebase.transfer_time_ps(wire_bytes, self.bits_per_second))
-            if self.metrics.sampling_enabled and self.env.now > 0:
-                busy = self.bytes_on_wire.value * 8 / self.bits_per_second
-                self._utilization.sample(
-                    self.env.now,
-                    busy / timebase.to_seconds(self.env.now))
-            if self._rng.random() < self.faults.drop_probability:
+            if self.metrics.sampling_enabled:
+                self._sample_utilization()
+            if not self.up:
+                self.frames_dropped.add()
+                self.link_down_drops.add()
+                continue
+            if self._drops_frame(tx):
                 self.frames_dropped.add()
                 continue
             if self._rng.random() < self.faults.corrupt_probability:
@@ -124,7 +298,27 @@ class Cable:
                 self.env.process(self._deliver(replace(packet), rx))
             self.env.process(self._deliver(packet, rx))
 
+    def _sample_utilization(self) -> None:
+        """Utilization over the window since the previous sample (not
+        since t=0: a cumulative reading would let long idle warmups
+        permanently depress the gauge)."""
+        now = self.env.now
+        elapsed = now - self._util_anchor_time
+        if elapsed <= 0:
+            return
+        window_bytes = self.bytes_on_wire.value - self._util_anchor_bytes
+        busy = window_bytes * 8 / self.bits_per_second
+        self._utilization.sample(
+            now, busy / timebase.to_seconds(elapsed))
+        self._util_anchor_time = now
+        self._util_anchor_bytes = self.bytes_on_wire.value
+
     def _deliver(self, packet, rx: Stream):
-        yield self.env.timeout(self.propagation)
+        yield self.env.timeout(self.propagation + self.extra_latency)
+        if not self.up:
+            # Carrier dropped while the frame was in flight.
+            self.frames_dropped.add()
+            self.link_down_drops.add()
+            return
         self.frames_delivered.add()
         yield rx.put(packet)

@@ -41,6 +41,11 @@ REG_KERNEL_COUNT = 0x88
 REG_RPC_MATCHES = 0x90
 REG_RPC_MISSES = 0x98
 REG_TIMER_EXPIRATIONS = 0xA0
+REG_TIMER_RECOVERIES = 0xA8
+REG_TIMER_EXHAUSTIONS = 0xB0
+REG_QP_ERRORS = 0xB8
+REG_CMDS_REJECTED = 0xC0
+REG_CRASH_DROPS = 0xC8
 
 #: Human-readable names, in register order (the driver's debugfs view).
 REGISTER_NAMES = {
@@ -65,6 +70,11 @@ REGISTER_NAMES = {
     REG_RPC_MATCHES: "rpc_matches",
     REG_RPC_MISSES: "rpc_misses",
     REG_TIMER_EXPIRATIONS: "timer_expirations",
+    REG_TIMER_RECOVERIES: "timer_recoveries",
+    REG_TIMER_EXHAUSTIONS: "timer_exhaustions",
+    REG_QP_ERRORS: "qp_errors",
+    REG_CMDS_REJECTED: "cmds_rejected",
+    REG_CRASH_DROPS: "crash_drops",
 }
 
 
@@ -96,6 +106,11 @@ class Controller:
             REG_RPC_MATCHES: lambda: int(nic.registry.matches),
             REG_RPC_MISSES: lambda: int(nic.registry.misses),
             REG_TIMER_EXPIRATIONS: lambda: int(nic.timer.expirations),
+            REG_TIMER_RECOVERIES: lambda: int(nic.timer.recoveries),
+            REG_TIMER_EXHAUSTIONS: lambda: int(nic.timer.exhaustions),
+            REG_QP_ERRORS: lambda: int(nic.qp_errors),
+            REG_CMDS_REJECTED: lambda: int(nic.commands_rejected),
+            REG_CRASH_DROPS: lambda: int(nic.crash_drops),
         }
 
     def read_register(self, offset: int) -> int:

@@ -46,7 +46,13 @@ from ..roce.packetizer import (
     segment_write,
 )
 from ..obs.runtime import registry_for, trace_for
-from ..roce.qp import PsnVerdict, QueuePairTable, psn_add, psn_distance
+from ..roce.qp import (
+    PsnVerdict,
+    QpError,
+    QueuePairTable,
+    psn_add,
+    psn_distance,
+)
 from ..roce.retransmit import RetransmissionTimer
 from ..sim import Event, Resource, Simulator, Stream
 from .dma import DmaEngine
@@ -124,9 +130,16 @@ class StromNic:
                                      config.max_outstanding_reads)
         self.registry = KernelRegistry()
         self.read_credits = Resource(env, config.max_outstanding_reads)
-        self.timer = RetransmissionTimer(env, config.retransmit_timeout,
-                                         self._on_retransmit_timeout,
-                                         name=f"{name}.timer")
+        self.timer = RetransmissionTimer(
+            env, config.retransmit_timeout, self._on_retransmit_timeout,
+            name=f"{name}.timer",
+            max_retries=config.retransmit_max_retries,
+            backoff_cap=config.retransmit_backoff_cap,
+            jitter=config.retransmit_jitter,
+            on_exhausted=self._on_retry_exhausted)
+        #: False while the node hosting this NIC is crashed: every frame
+        #: in either direction is dropped until :meth:`power_on`.
+        self.powered = True
 
         # Per-QP completions waiting for ACKs: qpn -> ordered entries.
         self._rpc_write_target: Dict[int, Optional[StromKernel]] = {}
@@ -159,6 +172,12 @@ class StromNic:
         self.duplicates = metrics.counter(f"{name}.duplicates")
         self.payload_bytes_sent = metrics.counter(f"{name}.payload_tx")
         self.payload_bytes_received = metrics.counter(f"{name}.payload_rx")
+        #: QPs transitioned to the error state (retry budget exhausted).
+        self.qp_errors = metrics.counter(f"{name}.qp_errors")
+        #: Commands rejected because their QP was already in error.
+        self.commands_rejected = metrics.counter(f"{name}.cmds_rejected")
+        #: Frames discarded in either direction while powered off.
+        self.crash_drops = metrics.counter(f"{name}.crash_drops")
         #: Sampled time series of in-flight READs (Multi-Queue load).
         self._outstanding_reads = metrics.gauge(
             f"{name}.outstanding_reads")
@@ -191,10 +210,78 @@ class StromNic:
         self.env.process(self._kernel_tx_adapter(kernel))
 
     # ------------------------------------------------------------------
+    # Power state (whole-node crash/restart fault injection)
+    # ------------------------------------------------------------------
+    def power_off(self) -> None:
+        """Crash the node: every frame in either direction is dropped.
+
+        QP and memory state is preserved (a *warm* restart model): after
+        :meth:`power_on` the peers' retransmissions find the responder
+        state where it was, so in-flight operations can still complete.
+        """
+        if not self.powered:
+            return
+        self.powered = False
+        if self.trace is not None:
+            self.trace.record(self.name, "power_off")
+
+    def power_on(self) -> None:
+        """Restore a crashed node."""
+        if self.powered:
+            return
+        self.powered = True
+        if self.trace is not None:
+            self.trace.record(self.name, "power_on")
+
+    # ------------------------------------------------------------------
+    # QP error state (retry budget exhausted)
+    # ------------------------------------------------------------------
+    def _on_retry_exhausted(self, qpn: int) -> None:
+        self._fail_queue_pair(qpn, "retry budget exhausted")
+
+    def _fail_queue_pair(self, qpn: int, reason: str) -> None:
+        """Transition ``qpn`` to the error state: stop retransmitting and
+        complete every outstanding work request with error status."""
+        qp = self.qps.get(qpn)
+        if qp.in_error:
+            return
+        qp.fail(reason)
+        self.qp_errors.add()
+        if self.trace is not None:
+            self.trace.record(self.name, "qp_error", qpn=qpn, reason=reason)
+        self.timer.disarm(qpn)
+        error = QpError(qpn, reason)
+        for entry in qp.requester.unacked:
+            if entry.completion is not None \
+                    and not entry.completion.triggered:
+                entry.completion.succeed(error)
+        qp.requester.unacked.clear()
+        while not self.multiqueue.is_empty(qpn):
+            context = self.multiqueue.pop(qpn)
+            if self.trace is not None and context.span is not None:
+                self.trace.end_span(context.span)
+                context.span = None
+            if context.completion is not None \
+                    and not context.completion.triggered:
+                context.completion.succeed(error)
+            self.read_credits.release()
+
+    # ------------------------------------------------------------------
     # Host command entry point (called by the MMIO path)
     # ------------------------------------------------------------------
     def submit(self, command: NicCommand) -> None:
         """Accept one command from the Controller."""
+        if command.kind in ("write", "read", "rpc", "rpc_write") \
+                and command.qpn in self.qps \
+                and self.qps.get(command.qpn).in_error:
+            # Error-state QPs accept no new work: complete immediately
+            # with error status instead of silently blackholing.
+            self.commands_rejected.add()
+            if command.completion is not None:
+                command.completion.succeed(
+                    QpError(command.qpn,
+                            self.qps.get(command.qpn).error_reason))
+            return
         if command.kind == "read":
             self.env.process(self._post_read(command))
         elif command.kind in ("write", "rpc", "rpc_write"):
@@ -337,7 +424,8 @@ class StromNic:
             self.env.process(self._tx_deliver(packet))
         if self.trace is not None:
             self.trace.end_span(span)
-        self.timer.arm(qp.qpn)
+        if not qp.in_error:
+            self.timer.arm(qp.qpn)
         gate.succeed()
 
     def _post_read(self, command: NicCommand):
@@ -374,7 +462,8 @@ class StromNic:
         qp.requester.unacked.append(entry)
         yield from self.config.streaming_charge(self.env, packet.l3_bytes)
         self.env.process(self._tx_deliver(packet))
-        self.timer.arm(qp.qpn)
+        if not qp.in_error:
+            self.timer.arm(qp.qpn)
         gate.succeed()
 
     def _tx_deliver(self, packet: RocePacket):
@@ -383,6 +472,9 @@ class StromNic:
         yield self.env.timeout(self.config.cycles(
             self.config.tx_pipeline_cycles
             + self.config.strom_arbitration_cycles))
+        if not self.powered:
+            self.crash_drops.add()
+            return
         self.packets_sent.add()
         if self.trace is not None:
             self.trace.record(self.name, "tx",
@@ -400,6 +492,9 @@ class StromNic:
             self.env.process(self._handle_packet(packet))
 
     def _handle_packet(self, packet: RocePacket):
+        if not self.powered:
+            self.crash_drops.add()
+            return
         yield self.env.timeout(
             self.config.cycles(self.config.rx_pipeline_cycles))
         self.packets_received.add()
@@ -587,6 +682,7 @@ class StromNic:
             self._go_back_n(qp, packet.bth.psn)
             return
         acked_psn = packet.bth.psn
+        progressed = False
         while requester.unacked:
             entry = requester.unacked[0]
             if psn_distance(entry.last_psn, acked_psn) > (1 << 23):
@@ -595,8 +691,11 @@ class StromNic:
                 break  # reads complete via their responses only
             requester.unacked.pop(0)
             requester.oldest_unacked_psn = psn_add(entry.last_psn, 1)
+            progressed = True
             if entry.completion is not None and not entry.completion.triggered:
                 entry.completion.succeed(self.env.now)
+        if progressed:
+            self.timer.note_progress(qp.qpn)
         if requester.unacked:
             self.timer.arm(qp.qpn)
         else:
@@ -615,6 +714,7 @@ class StromNic:
         offset = context.bytes_received
         context.bytes_received += len(packet.payload)
         self.payload_bytes_received.add(len(packet.payload))
+        self.timer.note_progress(qp.qpn)
         final = context.next_index >= context.packet_count
         if final:
             self.multiqueue.pop(qp.qpn)

@@ -28,6 +28,16 @@ def psn_distance(from_psn: int, to_psn: int) -> int:
     return (to_psn - from_psn) & PSN_MASK
 
 
+class QpError(Exception):
+    """A work request completed with error status because its queue pair
+    transitioned to the error state (retry budget exhausted)."""
+
+    def __init__(self, qpn: int, reason: str = "retry budget exhausted"):
+        super().__init__(f"QP {qpn} in error state: {reason}")
+        self.qpn = qpn
+        self.reason = reason
+
+
 class PsnVerdict(Enum):
     """Classification of an arriving request PSN against the expected PSN,
     mirroring the valid / duplicate / invalid regions of the State Table."""
@@ -106,6 +116,19 @@ class QueuePairState:
     dest_ip: int
     responder: ResponderState = field(default_factory=ResponderState)
     requester: RequesterState = field(default_factory=RequesterState)
+    #: True once the retry budget is exhausted: no further work is accepted
+    #: and outstanding WRs have been completed with error status.  Cleared
+    #: by :meth:`recover` (e.g. after the peer restarts).
+    in_error: bool = False
+    error_reason: str = ""
+
+    def fail(self, reason: str) -> None:
+        self.in_error = True
+        self.error_reason = reason
+
+    def recover(self) -> None:
+        self.in_error = False
+        self.error_reason = ""
 
 
 class QueuePairTable:

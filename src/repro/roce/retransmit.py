@@ -3,59 +3,166 @@
 Hardware keeps an array of time intervals in on-chip memory and a module
 continuously decrements the active ones; the behavioural equivalent is a
 versioned one-shot timer per QP: re-arming bumps the version so stale
-expirations are ignored.
+expirations are ignored, and additionally *interrupts* the pending
+countdown process so hot QPs do not accumulate dead wakeups between
+re-arms (see :meth:`RetransmissionTimer._cancel`).
+
+Recovery semantics beyond the paper's fixed timeout:
+
+- **Exponential backoff with jitter.**  Consecutive expirations without
+  forward progress double the next deadline (capped), and backoff rounds
+  add a seeded uniform jitter so many QPs recovering from one event do
+  not retry in lockstep.  The *first* expiration of a round fires at
+  exactly ``timeout`` — matching the hardware's fixed interval — so
+  clean-link behaviour is unchanged.
+- **Bounded retry budget.**  After ``max_retries`` consecutive
+  expirations the timer gives up and calls ``on_exhausted(qpn)`` instead
+  of retrying forever; the NIC uses this to transition the QP into an
+  error state that completes outstanding work requests with error
+  status.
+- **Progress tracking.**  :meth:`note_progress` resets the consecutive
+  count; if expirations had occurred, the episode is counted as a
+  *recovery* (the ``<name>.recoveries`` counter the fault-sweep CI gate
+  asserts on).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import random
+from typing import Callable, Dict, Optional
 
+from ..algos.hashing import fnv1a64
 from ..obs.runtime import registry_for
 from ..sim import Simulator
+from ..sim.events import Interrupt, Process
 
 
 class RetransmissionTimer:
     """Per-QP one-shot retransmission timers.
 
     ``callback(qpn)`` fires in a fresh simulation process when a timer
-    armed for ``qpn`` expires without being re-armed or disarmed.
+    armed for ``qpn`` expires without being re-armed or disarmed.  With a
+    ``max_retries`` budget, ``on_exhausted(qpn)`` replaces the callback
+    once the budget is spent.
     """
 
     def __init__(self, env: Simulator, timeout: int,
                  callback: Callable[[int], object],
-                 name: str = "timer") -> None:
+                 name: str = "timer",
+                 max_retries: Optional[int] = None,
+                 backoff_cap: Optional[int] = None,
+                 jitter: int = 0,
+                 on_exhausted: Optional[Callable[[int], object]] = None
+                 ) -> None:
         if timeout <= 0:
             raise ValueError("timeout must be positive")
+        if max_retries is not None and max_retries < 1:
+            raise ValueError("retry budget must allow at least one retry")
+        if backoff_cap is not None and backoff_cap < timeout:
+            raise ValueError("backoff cap must be >= the base timeout")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
         self.env = env
         self.timeout = timeout
         self.callback = callback
         self.name = name
+        self.max_retries = max_retries
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.on_exhausted = on_exhausted
+        self._rng = random.Random(fnv1a64(name.encode()) & 0x7FFF_FFFF)
         self._versions: Dict[int, int] = {}
         self._armed: Dict[int, bool] = {}
-        self.expirations = registry_for(env).counter(
-            f"{name}.expirations")
+        #: Consecutive expirations without progress, per QP.
+        self._attempts: Dict[int, int] = {}
+        #: The pending countdown process per QP (cancelled on re-arm).
+        self._procs: Dict[int, Process] = {}
+        metrics = registry_for(env)
+        self.expirations = metrics.counter(f"{name}.expirations")
+        #: Episodes where expirations happened but progress resumed.
+        self.recoveries = metrics.counter(f"{name}.recoveries")
+        #: QPs whose retry budget ran out (error-state transitions).
+        self.exhaustions = metrics.counter(f"{name}.exhaustions")
 
+    # ------------------------------------------------------------------
+    # Deadlines
+    # ------------------------------------------------------------------
+    def attempts(self, qpn: int) -> int:
+        """Consecutive expirations without progress for ``qpn``."""
+        return self._attempts.get(qpn, 0)
+
+    def next_delay(self, qpn: int) -> int:
+        """The deadline the next :meth:`arm` call would set: exponential
+        in the consecutive-expiration count, capped, jittered after the
+        first round."""
+        attempts = self._attempts.get(qpn, 0)
+        delay = self.timeout << min(attempts, 32)
+        if self.backoff_cap is not None:
+            delay = min(delay, self.backoff_cap)
+        if attempts > 0 and self.jitter:
+            delay += self._rng.randrange(self.jitter + 1)
+        return delay
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
     def arm(self, qpn: int) -> None:
         """(Re)start the timer for ``qpn``."""
+        self._cancel(qpn)
         version = self._versions.get(qpn, 0) + 1
         self._versions[qpn] = version
         self._armed[qpn] = True
-        self.env.process(self._countdown(qpn, version))
+        self._procs[qpn] = self.env.process(
+            self._countdown(qpn, version, self.next_delay(qpn)))
 
     def disarm(self, qpn: int) -> None:
         """Cancel the timer for ``qpn`` (no-op if not armed)."""
         self._armed[qpn] = False
         self._versions[qpn] = self._versions.get(qpn, 0) + 1
+        self._cancel(qpn)
 
     def is_armed(self, qpn: int) -> bool:
         return self._armed.get(qpn, False)
 
-    def _countdown(self, qpn: int, version: int):
-        yield self.env.timeout(self.timeout)
+    def note_progress(self, qpn: int) -> None:
+        """Forward progress happened (new ACK / data): reset the backoff
+        and, if the QP had been expiring, count one recovery."""
+        if self._attempts.get(qpn, 0) > 0:
+            self.recoveries.add()
+            self._attempts[qpn] = 0
+
+    def _cancel(self, qpn: int) -> None:
+        """Kill the pending countdown so its wakeup never fires (the
+        version bump alone would leave a dead process scheduled until
+        the stale timeout expired)."""
+        proc = self._procs.pop(qpn, None)
+        if proc is not None and proc.is_waiting \
+                and proc is not self.env.active_process:
+            proc.interrupt("re-armed")
+
+    def _countdown(self, qpn: int, version: int, delay: int):
+        if self._versions.get(qpn) != version:
+            # Cancelled before the bootstrap resume ran (same-tick
+            # disarm/re-arm): exit without scheduling a wakeup at all.
+            return
+        try:
+            yield self.env.timeout(delay)
+        except Interrupt:
+            return
         if self._armed.get(qpn) and self._versions.get(qpn) == version:
             self._armed[qpn] = False
             self.expirations.add()
-            result = self.callback(qpn)
+            attempts = self._attempts.get(qpn, 0) + 1
+            self._attempts[qpn] = attempts
+            if self.max_retries is not None and attempts > self.max_retries:
+                self.exhaustions.add()
+                self._attempts[qpn] = 0
+                handler = self.on_exhausted
+                if handler is None:
+                    return
+                result = handler(qpn)
+            else:
+                result = self.callback(qpn)
             # Allow generator callbacks (processes) as well as plain calls.
             if result is not None and hasattr(result, "send"):
                 self.env.process(result)
