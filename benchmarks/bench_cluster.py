@@ -49,6 +49,10 @@ WINDOWS = {"smoke": MS, "full": 4 * MS}
 #: loss with replica failover enabled (gates the recovery path's
 #: goodput the same way the clean gate protects the fast path).
 LOSSY_MEAN_LOSS = 0.01
+#: The large-message scenario (zero-copy payload plane): 256 KiB
+#: WRITEs + READs between two 100 G hosts through the switch.
+LARGE_SIZE = 256 * 1024
+LARGE_REPS = {"smoke": 8, "full": 32}
 
 
 def run_point(mode: str) -> dict:
@@ -86,6 +90,54 @@ def run_lossy_point(mode: str) -> dict:
     }
 
 
+def run_large_point(mode: str) -> dict:
+    """Large-message point for the zero-copy payload plane: 256 KiB
+    WRITEs then READs between two 100 G hosts through the switch.
+
+    The simulated per-direction goodput is deterministic and gated like
+    ``achieved_kops``; the wall-clock payload rate and the payload-plane
+    copy counter are reported (the clean path must copy zero bytes)."""
+    from repro.config import NIC_100G
+    from repro.core.payload import PAYLOAD_STATS
+    from repro.cluster.topology import build_star
+    from repro.sim import Simulator
+
+    reps = LARGE_REPS[mode]
+    env = Simulator()
+    cluster = build_star(env, 2, nic_config=NIC_100G, seed=1)
+    a, b = cluster.hosts
+    qpn_a, _ = cluster.connect(a, b)
+    src = a.alloc(LARGE_SIZE, "src")
+    dst = b.alloc(LARGE_SIZE, "dst")
+    a.space.write(src.vaddr, bytes(i % 251 for i in range(LARGE_SIZE)))
+    marks = {}
+
+    def driver():
+        for _ in range(reps):
+            yield from a.write_sync(qpn_a, src.vaddr, dst.vaddr,
+                                    LARGE_SIZE)
+        marks["write_ps"] = env.now
+        for _ in range(reps):
+            yield from a.read_sync(qpn_a, src.vaddr, dst.vaddr,
+                                   LARGE_SIZE)
+        marks["read_ps"] = env.now - marks["write_ps"]
+
+    proc = env.process(driver())
+    before = PAYLOAD_STATS.snapshot()
+    start = time.perf_counter()
+    env.run_until_complete(proc, limit=1_000 * MS)
+    wall = time.perf_counter() - start
+    after = PAYLOAD_STATS.snapshot()
+    moved = 2 * reps * LARGE_SIZE
+    return {
+        "write_gbps": 8e12 * reps * LARGE_SIZE / marks["write_ps"] / 1e9,
+        "read_gbps": 8e12 * reps * LARGE_SIZE / marks["read_ps"] / 1e9,
+        "wall_mb_s": moved / wall / 1e6,
+        "copied_bytes": after["bytes_copied"] - before["bytes_copied"],
+        "wall_s": round(wall, 3),
+    }
+
+
 def load_baseline() -> dict:
     with open(BASELINE_PATH) as handle:
         return json.load(handle)
@@ -107,6 +159,23 @@ def check(measured: dict, base: dict, threshold: float) -> list:
     return failures
 
 
+def check_large(measured: dict, base: dict, threshold: float) -> list:
+    """Gate: simulated large-message goodput must not sink in either
+    direction, and the clean datapath must copy zero payload bytes."""
+    failures = []
+    for key in ("write_gbps", "read_gbps"):
+        floor = base[key] * (1.0 - threshold)
+        if measured[key] < floor:
+            failures.append(
+                f"{key} {measured[key]:.2f} is more than {threshold:.0%} "
+                f"below baseline {base[key]:.2f}")
+    if measured["copied_bytes"]:
+        failures.append(
+            f"clean path copied {measured['copied_bytes']} payload bytes "
+            f"(expected 0: every hop must forward by reference)")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Sharded-KV cluster benchmark + regression gate")
@@ -119,6 +188,9 @@ def main(argv=None) -> int:
     parser.add_argument("--lossy", action="store_true",
                         help=f"run the {LOSSY_MEAN_LOSS:.0%} bursty-loss "
                              "scenario instead of the clean one")
+    parser.add_argument("--large", action="store_true",
+                        help=f"run the {LARGE_SIZE // 1024} KiB "
+                             "large-message scenario instead")
     parser.add_argument("--json", metavar="FILE",
                         help="also dump measured metrics to FILE")
     args = parser.parse_args(argv)
@@ -127,6 +199,8 @@ def main(argv=None) -> int:
         payload = {mode: run_point(mode) for mode in WINDOWS}
         payload.update({f"lossy-{mode}": run_lossy_point(mode)
                         for mode in WINDOWS})
+        payload.update({f"large-{mode}": run_large_point(mode)
+                        for mode in WINDOWS})
         with open(BASELINE_PATH, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -134,7 +208,10 @@ def main(argv=None) -> int:
         return 0
 
     window = "smoke" if args.smoke else "full"
-    if args.lossy:
+    if args.large:
+        mode = f"large-{window}"
+        measured = run_large_point(window)
+    elif args.lossy:
         mode = f"lossy-{window}"
         measured = run_lossy_point(window)
     else:
@@ -143,8 +220,12 @@ def main(argv=None) -> int:
     baseline = load_baseline().get(mode) \
         if os.path.exists(BASELINE_PATH) else None
 
-    print(f"mode={mode}  shards={SHARDS}  "
-          f"offered={SHARDS * OFFERED_PER_SHARD / 1e3:.0f} kops/s")
+    if args.large:
+        print(f"mode={mode}  hosts=2  message={LARGE_SIZE // 1024} KiB  "
+              f"reps={LARGE_REPS[window]} per direction")
+    else:
+        print(f"mode={mode}  shards={SHARDS}  "
+              f"offered={SHARDS * OFFERED_PER_SHARD / 1e3:.0f} kops/s")
     for key in sorted(measured):
         base = baseline.get(key) if baseline else None
         print(f"{key:>14}  {measured[key]:>10.2f}  "
@@ -159,7 +240,8 @@ def main(argv=None) -> int:
         print("no baseline; run with --update-baseline to create one",
               file=sys.stderr)
         return 0
-    failures = check(measured, baseline, args.threshold)
+    checker = check_large if args.large else check
+    failures = checker(measured, baseline, args.threshold)
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -28,6 +28,14 @@ Scenarios
     The same loop inside ``repro.obs.observe()``: every item opens and
     closes a span and samples a gauge.  Reported for scale — tracing is
     opt-in, so this rate carries no guard beyond the baseline check.
+``rdma_write_256k`` / ``rdma_read_256k``
+    End-to-end 256 KiB RDMA WRITE/READ over the two-node 100 G fabric,
+    reported in *payload bytes per wall-second*: the large-message gate
+    of the zero-copy payload plane.  The baseline additionally records
+    the rates of the pre-zero-copy (copy-per-hop) datapath
+    (``copy_rdma_*_256k``) for the speedup line, and the payload-plane
+    counters are printed per scenario — the clean path must show zero
+    per-hop copy bytes.
 
 Usage::
 
@@ -53,13 +61,18 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.config import NIC_100G  # noqa: E402
+from repro.core.payload import PAYLOAD_STATS  # noqa: E402
+from repro.host import build_fabric  # noqa: E402
 from repro.obs import observe, registry_for, trace_for  # noqa: E402
 from repro.sim.channels import Stream  # noqa: E402
 from repro.sim.core import Simulator  # noqa: E402
+from repro.sim.timebase import MS  # noqa: E402
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__),
                              "bench_engine_baseline.json")
 BURST = 64
+RDMA_SIZE = 256 * 1024
 
 
 def timeout_loop(n: int) -> float:
@@ -160,12 +173,63 @@ def pingpong_obs_on(n: int) -> float:
         return _instrumented_pingpong(n)
 
 
+def _rdma_large(n: int, kind: str) -> float:
+    """End-to-end 256 KiB verbs on the 100 G two-node fabric; returns
+    payload bytes per wall-second (``n`` only scales the repeat count).
+    The per-scenario payload-plane delta is captured for the report."""
+    reps = 16 if n <= 64_000 else 40
+    sim = Simulator()
+    fabric = build_fabric(sim, nic_config=NIC_100G)
+    src = fabric.client.alloc(RDMA_SIZE, "src")
+    dst = fabric.server.alloc(RDMA_SIZE, "dst")
+    if kind == "write":
+        fabric.client.space.write(src.vaddr,
+                                  bytes(i % 251 for i in range(RDMA_SIZE)))
+    else:
+        fabric.server.space.write(dst.vaddr,
+                                  bytes(i % 149 for i in range(RDMA_SIZE)))
+
+    def driver():
+        for _ in range(reps):
+            if kind == "write":
+                yield from fabric.client.write_sync(
+                    fabric.client_qpn, src.vaddr, dst.vaddr, RDMA_SIZE)
+            else:
+                yield from fabric.client.read_sync(
+                    fabric.client_qpn, src.vaddr, dst.vaddr, RDMA_SIZE)
+
+    proc = sim.process(driver())
+    before = PAYLOAD_STATS.snapshot()
+    start = time.perf_counter()
+    sim.run_until_complete(proc, limit=10_000 * MS)
+    rate = RDMA_SIZE * reps / (time.perf_counter() - start)
+    after = PAYLOAD_STATS.snapshot()
+    PAYLOAD_DELTAS[f"rdma_{kind}_256k"] = {
+        key: after[key] - before[key] for key in after}
+    return rate
+
+
+#: Per-scenario payload-plane counter deltas (filled by the rdma
+#: scenarios, printed after the table).
+PAYLOAD_DELTAS = {}
+
+
+def rdma_write_256k(n: int) -> float:
+    return _rdma_large(n, "write")
+
+
+def rdma_read_256k(n: int) -> float:
+    return _rdma_large(n, "read")
+
+
 SCENARIOS = {
     "timeout_loop": timeout_loop,
     "stream_pingpong": stream_pingpong,
     "stream_bulk": stream_bulk,
     "pingpong_obs_off": pingpong_obs_off,
     "pingpong_obs_on": pingpong_obs_on,
+    "rdma_write_256k": rdma_write_256k,
+    "rdma_read_256k": rdma_read_256k,
 }
 
 
@@ -223,6 +287,20 @@ def main(argv=None) -> int:
         speedup = results["stream_bulk"] / seed
         print(f"\nword-batched bulk path vs seed engine ping-pong "
               f"({seed:,.0f}/s): {speedup:.1f}x")
+    if baseline and "copy_rdma_write_256k" in baseline:
+        # The recorded rates of the copy-per-hop datapath this plane
+        # replaced; the zero-copy acceptance line is >= 1.5x on both.
+        for kind in ("write", "read"):
+            old = baseline[f"copy_rdma_{kind}_256k"]
+            new = results[f"rdma_{kind}_256k"]
+            print(f"zero-copy 256 KiB {kind} vs copy-per-hop datapath "
+                  f"({old / 1e6:.2f} MB/s): {new / old:.2f}x")
+    for name, delta in PAYLOAD_DELTAS.items():
+        print(f"payload plane [{name}]: "
+              f"{delta['bytes_copied']:,} B copied "
+              f"({delta['copy_events']} events), "
+              f"{delta['bytes_referenced']:,} B by reference "
+              f"({delta['ref_events']} events)")
 
     # In-run overhead guard: the disabled-mode hooks must cost less than
     # --obs-threshold of the bare engine loop measured this same run
@@ -241,9 +319,12 @@ def main(argv=None) -> int:
     if args.update_baseline:
         payload = {"rates": results}
         if os.path.exists(BASELINE_PATH):
+            # Historical reference rates (seed engine, copy-per-hop
+            # datapath) are measurements of *replaced* code: carry them
+            # forward, they cannot be re-measured.
             old = load_baseline()
-            if "seed_stream_pingpong" in old:
-                payload["seed_stream_pingpong"] = old["seed_stream_pingpong"]
+            payload.update({key: value for key, value in old.items()
+                            if key != "rates"})
         with open(BASELINE_PATH, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")

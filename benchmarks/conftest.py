@@ -5,9 +5,21 @@ evaluation.  The pytest-benchmark timing measures the harness itself
 (simulation wall time); the *reproduced values* are attached to each
 benchmark's ``extra_info`` and printed, and shape assertions guard the
 paper's qualitative claims (who wins, by roughly what factor).
+
+Every scenario additionally reports the zero-copy payload plane's
+counter delta — payload bytes materialized as fresh copies vs. handed
+across the memory boundary by reference — so a regression that silently
+reintroduces per-hop copying shows up in the benchmark log.
 """
 
+import os
+import sys
+
 import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.payload import PAYLOAD_STATS  # noqa: E402
 
 
 def attach_rows(benchmark, result) -> None:
@@ -17,3 +29,16 @@ def attach_rows(benchmark, result) -> None:
     benchmark.extra_info["rows"] = result.rows
     print()
     print(result.format_table())
+
+
+@pytest.fixture(autouse=True)
+def payload_copy_report(request):
+    """Print the payload-plane counter delta per benchmark scenario."""
+    before = PAYLOAD_STATS.snapshot()
+    yield
+    after = PAYLOAD_STATS.snapshot()
+    copied = after["bytes_copied"] - before["bytes_copied"]
+    referenced = after["bytes_referenced"] - before["bytes_referenced"]
+    if copied or referenced:
+        print(f"\npayload plane [{request.node.name}]: {copied:,} B "
+              f"copied, {referenced:,} B by reference")

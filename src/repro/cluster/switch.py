@@ -70,6 +70,7 @@ class SwitchPort:
             self.tx, self.rx = cable.b_tx, cable.b_rx
         else:
             raise ValueError("side must be 'a' or 'b'")
+        self.side = side
         self.env = env
         self.index = index
         self.cable = cable
@@ -180,7 +181,11 @@ class Switch:
     # Data path
     # ------------------------------------------------------------------
     def _ingress_loop(self, port: SwitchPort):
-        """Receive frames on one port, learn, look up, enqueue."""
+        """Receive frames on one port, learn, look up, enqueue.
+
+        Forwarding is pure size accounting on the zero-copy payload
+        plane: the packet object (payload views included) is passed
+        through untouched; only ``wire_bytes`` is ever read."""
         while True:
             packet = yield port.rx.get()
             if not port.up:
@@ -233,6 +238,8 @@ class Switch:
                 self.frames_dropped.add()
                 continue
             port.frames_out.add()
-            yield port.tx.put(packet)
+            # Hand the frame straight to the cable (same instant a
+            # tx-stream put would have reached the pump).
+            port.cable.send(port.side, packet)
             yield self.env.timeout(
                 timebase.transfer_time_ps(packet.wire_bytes, rate))

@@ -5,6 +5,8 @@
 - :class:`KernelRegistry`: Portals-style RPC op-code matching with CPU
   fallback (Section 5.1).
 - :mod:`repro.core.rpc`: RPC op-codes, parameter marshalling, error codes.
+- :mod:`repro.core.payload`: the zero-copy payload plane
+  (:class:`PayloadRef`, copy-validation mode, copy/ref accounting).
 """
 
 from .kernel import (
@@ -13,6 +15,15 @@ from .kernel import (
     RoceMeta,
     RpcInvocation,
     StromKernel,
+)
+from .payload import (
+    PAYLOAD_STATS,
+    PayloadAliasingError,
+    PayloadRef,
+    as_bytes,
+    copy_validate_enabled,
+    copy_validation,
+    set_copy_validate,
 )
 from .registry import KernelRegistry
 from .rpc import (
@@ -31,7 +42,10 @@ __all__ = [
     "KernelStreams",
     "MAX_PARAM_BYTES",
     "MemCmd",
+    "PAYLOAD_STATS",
     "PREAMBLE_SIZE",
+    "PayloadAliasingError",
+    "PayloadRef",
     "RPC_ERROR_BAD_PARAMS",
     "RPC_ERROR_NO_KERNEL",
     "RoceMeta",
@@ -39,6 +53,10 @@ __all__ = [
     "RpcOpcode",
     "RpcPreamble",
     "StromKernel",
+    "as_bytes",
+    "copy_validate_enabled",
+    "copy_validation",
     "pack_params",
     "params_body",
+    "set_copy_validate",
 ]

@@ -134,9 +134,11 @@ class AddressSpace:
     def write(self, vaddr: int, data: bytes) -> None:
         if not data:
             return
+        # Page-sized sub-views go straight down; PhysicalMemory
+        # slice-assigns them without a staging copy.
         view = memoryview(data)
         for paddr, chunk in self.split_at_page_boundaries(vaddr, len(data)):
-            self.physical.write(paddr, bytes(view[:chunk]))
+            self.physical.write(paddr, view[:chunk])
             view = view[chunk:]
 
     def read_u32(self, vaddr: int) -> int:

@@ -3,11 +3,20 @@
 This is the DRAM image both the host CPU and the NIC's DMA engine operate
 on.  Pages materialize on first touch, so multi-gigabyte address spaces
 cost only what is actually written.
+
+The zero-copy payload plane (see :mod:`repro.core.payload`) enters memory
+here: :meth:`PhysicalMemory.read_view` hands out a :class:`PayloadRef` of
+memoryviews over the page bytearrays instead of a joined copy, and
+:meth:`PhysicalMemory.write_views` scatter-writes such views directly
+into the destination pages.  Pages never resize, so exported views stay
+valid for the lifetime of the memory.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable, Optional
+
+from ..core.payload import PAYLOAD_STATS, Buffer, PayloadRef
 
 
 class PhysicalMemory:
@@ -26,6 +35,8 @@ class PhysicalMemory:
         self.page_bytes = page_bytes
         self.size_bytes = size_bytes
         self._pages: Dict[int, bytearray] = {}
+        # Shared zero page backing views of never-materialized memory.
+        self._zeros: Optional[bytes] = None
 
     @property
     def num_materialized_pages(self) -> int:
@@ -39,9 +50,30 @@ class PhysicalMemory:
                 f"access [{address:#x}, {address + length:#x}) beyond "
                 f"memory end {self.size_bytes:#x}")
 
+    def _zero_view(self, length: int) -> memoryview:
+        """A view of ``length`` zero bytes (shared, immutable backing)."""
+        zeros = self._zeros
+        if zeros is None or len(zeros) < length:
+            zeros = self._zeros = bytes(max(length, self.page_bytes))
+        return memoryview(zeros)[:length]
+
     def read(self, address: int, length: int) -> bytes:
-        """Read ``length`` bytes starting at physical ``address``."""
+        """Read ``length`` bytes starting at physical ``address``.
+
+        Materializes a fresh copy (counted by the payload plane); use
+        :meth:`read_view` on data paths that only forward the bytes.
+        """
         self._check_range(address, length)
+        stats = PAYLOAD_STATS
+        stats.copy_events += 1
+        stats.bytes_copied += length
+        page_index, offset = divmod(address, self.page_bytes)
+        if offset + length <= self.page_bytes:
+            # Single-page fast path: one slice, no assembly loop.
+            page = self._pages.get(page_index)
+            if page is None:
+                return bytes(length)
+            return bytes(memoryview(page)[offset:offset + length])
         out = bytearray()
         remaining = length
         cursor = address
@@ -57,14 +89,73 @@ class PhysicalMemory:
             remaining -= chunk
         return bytes(out)
 
-    def write(self, address: int, data: bytes) -> None:
-        """Write ``data`` starting at physical ``address``."""
+    def read_view(self, address: int, length: int,
+                  stable: bool = False) -> PayloadRef:
+        """The bytes at [address, address+length) as a :class:`PayloadRef`
+        of views over the live pages — no copy.
+
+        The ref aliases memory: later writes to the range are visible
+        through it (see the aliasing contract in
+        :mod:`repro.core.payload`; ``stable=True`` marks a send buffer
+        the application has promised not to touch until completion).
+        Never-materialized pages are backed by a shared zero buffer,
+        which a later first-touch write does *not* update — matching
+        what a copy at fetch time would return.
+        """
+        self._check_range(address, length)
+        segments = []
+        remaining = length
+        cursor = address
+        while remaining > 0:
+            page_index, offset = divmod(cursor, self.page_bytes)
+            chunk = min(remaining, self.page_bytes - offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                segments.append(self._zero_view(chunk))
+            else:
+                segments.append(memoryview(page)[offset:offset + chunk])
+            cursor += chunk
+            remaining -= chunk
+        stats = PAYLOAD_STATS
+        stats.ref_events += 1
+        stats.bytes_referenced += length
+        return PayloadRef(segments, stable=stable)
+
+    def readinto(self, address: int, buffer) -> int:
+        """Fill a writable ``buffer`` from memory at ``address``; returns
+        the number of bytes read (always ``len(buffer)``)."""
+        view = memoryview(buffer)
+        if view.readonly:
+            raise TypeError("readinto() requires a writable buffer")
+        length = view.nbytes
+        self._check_range(address, length)
+        filled = 0
+        cursor = address
+        while filled < length:
+            page_index, offset = divmod(cursor, self.page_bytes)
+            chunk = min(length - filled, self.page_bytes - offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                view[filled:filled + chunk] = bytes(chunk)
+            else:
+                view[filled:filled + chunk] = \
+                    memoryview(page)[offset:offset + chunk]
+            cursor += chunk
+            filled += chunk
+        return length
+
+    def write(self, address: int, data) -> None:
+        """Write ``data`` (bytes-like, views included) at ``address``.
+
+        Slice-assigns straight into the pages: passing a memoryview
+        stages no intermediate copy.
+        """
         self._check_range(address, len(data))
         cursor = address
         view = memoryview(data)
-        while view:
+        while view.nbytes:
             page_index, offset = divmod(cursor, self.page_bytes)
-            chunk = min(len(view), self.page_bytes - offset)
+            chunk = min(view.nbytes, self.page_bytes - offset)
             page = self._pages.get(page_index)
             if page is None:
                 page = bytearray(self.page_bytes)
@@ -72,6 +163,25 @@ class PhysicalMemory:
             page[offset:offset + chunk] = view[:chunk]
             cursor += chunk
             view = view[chunk:]
+
+    def write_views(self, address: int, segments: Iterable[Buffer]) -> int:
+        """Scatter-gather write: lay ``segments`` down contiguously at
+        ``address``, each slice-assigned directly into the pages (the
+        DMA write-back path of the zero-copy plane).  Returns the total
+        byte count."""
+        cursor = address
+        total = 0
+        for segment in segments:
+            n = len(segment)
+            if n == 0:
+                continue
+            self.write(cursor, segment)
+            cursor += n
+            total += n
+        stats = PAYLOAD_STATS
+        stats.ref_events += 1
+        stats.bytes_referenced += total
+        return total
 
     def fill(self, address: int, length: int, value: int = 0) -> None:
         """Fill ``length`` bytes at ``address`` with ``value``."""

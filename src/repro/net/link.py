@@ -162,10 +162,24 @@ class LinkFaults:
 class Cable:
     """A full-duplex cable between two NIC ports.
 
-    Endpoints interact through four streams: ``a_to_b_in`` / ``b_out`` and
-    vice versa.  Each direction is an independent simulation process, so
-    bidirectional traffic does not serialize against itself — matching the
-    stack's "independent processing on the two paths" design goal.
+    Endpoints either call :meth:`send` directly (the NIC fast path) or
+    put frames into the ``a_tx`` / ``b_tx`` streams; each direction
+    serializes independently, so bidirectional traffic does not serialize
+    against itself — matching the stack's "independent processing on the
+    two paths" design goal.
+
+    Serialization is enforced *arithmetically*: each direction keeps a
+    FIFO ``free_at`` cursor (like :class:`~repro.sim.BandwidthLink`), so
+    a frame's serialization-end and arrival times are computed at send
+    time instead of being discovered by a per-direction pump process.  A
+    fault-free frame costs exactly one scheduler event (the arrival
+    callback); when fault injection or utilization sampling is active the
+    per-frame draws still happen at serialization end, on a second
+    callback, preserving the RNG draw schedule of the process-based
+    formulation.  Frames are delivered to a receiver hook registered via
+    :meth:`set_receiver` (zero-copy: the same packet object, payload
+    views included, crosses the wire) or, when none is set, into the
+    ``a_rx`` / ``b_rx`` streams.
     """
 
     def __init__(self, env: Simulator, bits_per_second: float,
@@ -189,8 +203,17 @@ class Cable:
         #: Transient extra one-way delay (latency-spike injection).
         self.extra_latency = 0
         #: Gilbert-Elliott channel state, one per direction (keyed by the
-        #: TX stream), True while in the bad state.
+        #: sending side), True while in the bad state.
         self._burst_bad = {}
+        #: FIFO serialization cursor per direction (keyed by the sending
+        #: side): the time the wire frees up for the next frame.
+        self._free_at = {"a": 0, "b": 0}
+        #: Receiver hooks keyed by the *receiving* side; frames fall back
+        #: to the rx streams when no hook is registered.
+        self._receivers = {"a": None, "b": None}
+        #: Receiver-side pipeline delay folded into the arrival callback
+        #: (the NIC's RX parse latency), keyed by receiving side.
+        self._receiver_delay = {"a": 0, "b": 0}
 
         self.a_tx: Stream = Stream(env, name=f"{name}.a_tx")
         self.b_tx: Stream = Stream(env, name=f"{name}.b_tx")
@@ -218,8 +241,25 @@ class Cable:
         self._util_anchor_time = 0
         self._util_anchor_bytes = 0
 
-        env.process(self._pump(self.a_tx, self.b_rx))
-        env.process(self._pump(self.b_tx, self.a_rx))
+        env.process(self._pump(self.a_tx, "a"))
+        env.process(self._pump(self.b_tx, "b"))
+
+    def set_receiver(self, side: str, receiver,
+                     pipeline_delay: int = 0) -> None:
+        """Deliver frames arriving at ``side`` ('a' or 'b') by calling
+        ``receiver(packet)`` instead of queueing them into the rx stream
+        (saves a stream wake plus a consumer-loop resume per frame).
+
+        ``pipeline_delay`` is charged before the call — folding the
+        receiver's fixed parse latency into the arrival callback, so the
+        whole cable crossing plus RX pipeline costs one event on the
+        fault-free path."""
+        if side not in ("a", "b"):
+            raise ValueError("side must be 'a' or 'b'")
+        if pipeline_delay < 0:
+            raise ValueError("pipeline delay must be non-negative")
+        self._receivers[side] = receiver
+        self._receiver_delay[side] = pipeline_delay
 
     # ------------------------------------------------------------------
     # Fault-injection surface (driven by repro.faults.FaultSchedule)
@@ -268,35 +308,90 @@ class Cable:
             return True
         return False
 
-    def _pump(self, tx: Stream, rx: Stream):
-        """Move packets from one endpoint's TX to the peer's RX."""
+    def _pump(self, tx: Stream, side: str):
+        """Compatibility path: feed frames put into a TX stream through
+        :meth:`send` (the switch's egress and direct-stream tests)."""
         while True:
             packet = yield tx.get()
-            wire_bytes = packet.wire_bytes
-            self.bytes_on_wire.add(wire_bytes)
-            # Serialization holds the directional wire (frames cannot
-            # overtake each other); propagation overlaps with the next
-            # frame's serialization.
-            yield self.env.timeout(
-                timebase.transfer_time_ps(wire_bytes, self.bits_per_second))
-            if self.metrics.sampling_enabled:
-                self._sample_utilization()
-            if not self.up:
-                self.frames_dropped.add()
-                self.link_down_drops.add()
-                continue
-            if self._drops_frame(tx):
-                self.frames_dropped.add()
-                continue
-            if self._rng.random() < self.faults.corrupt_probability:
-                self.frames_corrupted.add()
-                # Corrupt a copy: the sender's retransmit buffer keeps a
-                # reference to the original, clean packet.
-                packet = replace(packet, corrupted=True)
-            if self._rng.random() < self.faults.duplicate_probability:
-                self.frames_duplicated.add()
-                self.env.process(self._deliver(replace(packet), rx))
-            self.env.process(self._deliver(packet, rx))
+            self.send(side, packet)
+
+    def send(self, side: str, packet, ready: Optional[int] = None) -> None:
+        """Transmit ``packet`` from endpoint ``side`` ('a' or 'b').
+
+        Reserves the directional wire arithmetically (serialization
+        holds it — frames cannot overtake each other; propagation
+        overlaps with the next frame's serialization) and schedules the
+        arrival.  ``ready`` sets a floor on the serialization start (the
+        sender's fixed TX pipeline latency, folded into the reservation
+        the same way DMA folds PCIe latency).  The fault-free, unsampled
+        case costs a single timeout callback — covering serialization,
+        propagation and the receiver's registered pipeline delay; any
+        fault knob, a downed carrier, or active metric sampling routes
+        through a serialization-end callback that keeps the per-frame
+        RNG draws at the exact times the pump process drew them."""
+        wire_bytes = packet.wire_bytes
+        self.bytes_on_wire.add(wire_bytes)
+        duration = timebase.transfer_time_ps(wire_bytes,
+                                             self.bits_per_second)
+        now = self.env.now
+        start = self._free_at[side]
+        if ready is not None and start < ready:
+            start = ready
+        if start < now:
+            start = now
+        end = start + duration
+        self._free_at[side] = end
+        dest = "b" if side == "a" else "a"
+        faults = self.faults
+        if (faults.drop_probability or faults.corrupt_probability
+                or faults.duplicate_probability or faults.burst is not None
+                or not self.up or self.metrics.sampling_enabled):
+            self.env.timeout(end - now).callbacks.append(
+                lambda _event, packet=packet, side=side, dest=dest:
+                    self._on_serialized(packet, side, dest))
+            return
+        self.env.timeout(
+            end - now + self.propagation + self.extra_latency
+            + self._receiver_delay[dest]
+        ).callbacks.append(
+            lambda _event, packet=packet, dest=dest:
+                self._arrive_direct(packet, dest))
+
+    def _arrive_direct(self, packet, dest: str) -> None:
+        """Fast-path arrival: carrier check, then straight into the
+        receiver hook (or rx stream) — pipeline delay already charged."""
+        if not self.up:
+            self.frames_dropped.add()
+            self.link_down_drops.add()
+            return
+        self.frames_delivered.add()
+        receiver = self._receivers[dest]
+        if receiver is not None:
+            receiver(packet)
+            return
+        (self.a_rx if dest == "a" else self.b_rx).put(packet)
+
+    def _on_serialized(self, packet, side: str, dest: str) -> None:
+        """Serialization finished: sample, then run the fault draws in
+        the order (and at the time) the pump process ran them."""
+        if self.metrics.sampling_enabled:
+            self._sample_utilization()
+        if not self.up:
+            self.frames_dropped.add()
+            self.link_down_drops.add()
+            return
+        if self._drops_frame(side):
+            self.frames_dropped.add()
+            return
+        if self._rng.random() < self.faults.corrupt_probability:
+            self.frames_corrupted.add()
+            # Corrupt a copy: the sender's retransmit buffer keeps a
+            # reference to the original, clean packet.
+            packet = replace(packet, corrupted=True)
+        if self._rng.random() < self.faults.duplicate_probability:
+            self.frames_duplicated.add()
+            self._deliver(replace(packet), dest)
+        self._deliver(packet, dest)
 
     def _sample_utilization(self) -> None:
         """Utilization over the window since the previous sample (not
@@ -313,12 +408,30 @@ class Cable:
         self._util_anchor_time = now
         self._util_anchor_bytes = self.bytes_on_wire.value
 
-    def _deliver(self, packet, rx: Stream):
-        yield self.env.timeout(self.propagation + self.extra_latency)
+    def _deliver(self, packet, dest: str) -> None:
+        """Schedule arrival after propagation as a timeout callback (no
+        per-frame process).  The payload itself is never touched: the
+        same packet object — views included — crosses the wire."""
+        self.env.timeout(
+            self.propagation + self.extra_latency).callbacks.append(
+                lambda _event, packet=packet, dest=dest:
+                    self._deliver_now(packet, dest))
+
+    def _deliver_now(self, packet, dest: str) -> None:
         if not self.up:
             # Carrier dropped while the frame was in flight.
             self.frames_dropped.add()
             self.link_down_drops.add()
             return
         self.frames_delivered.add()
-        yield rx.put(packet)
+        receiver = self._receivers[dest]
+        if receiver is None:
+            (self.a_rx if dest == "a" else self.b_rx).put(packet)
+            return
+        delay = self._receiver_delay[dest]
+        if delay:
+            self.env.timeout(delay).callbacks.append(
+                lambda _event, packet=packet, receiver=receiver:
+                    receiver(packet))
+        else:
+            receiver(packet)

@@ -6,6 +6,20 @@ split by the TLB, then moves bytes over a shared, FIFO-ordered PCIe
 bandwidth link.  Reads cost a round trip (~1.5 us, paper footnote 7);
 writes are posted.  Completion *watches* let simulated host software poll
 for data arrival without busy-looping simulation events.
+
+Zero-copy payload plane (see :mod:`repro.core.payload`): streaming reads
+hand out :class:`~repro.core.payload.PayloadRef` views over the physical
+pages instead of joined copies, and writes scatter such views directly
+into the destination pages.  PCIe FIFO ordering is enforced
+arithmetically (:meth:`repro.sim.BandwidthLink.reserve_after`): the fixed
+pre-transfer latency is folded into the reservation's floor, so a whole
+burst — latency included — costs at most one timeout.  The
+:class:`FetchPlan` fast path goes further: the burst is reserved
+*synchronously* at issue and the consumer computes each chunk's ready
+time from the slot, so a TX-path fetch costs zero scheduler events per
+packet in steady state.  Since every competing transfer on a lane pays
+the same latency, folding it into the floor yields timestamps identical
+to sleeping the latency first (call order == wake order).
 """
 
 from __future__ import annotations
@@ -15,6 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..config import NicConfig
+from ..core.payload import PayloadRef
 from ..memory import PhysicalMemory
 from ..obs.runtime import registry_for, trace_for
 from ..sim import BandwidthLink, Event, Simulator
@@ -38,6 +53,59 @@ class DmaCommand:
             raise ValueError("DMA length must be positive")
         if self.vaddr < 0:
             raise ValueError("negative DMA address")
+
+
+class FetchPlan:
+    """Chunk source for the zero-copy TX path.
+
+    One PCIe burst is reserved synchronously at issue; each chunk's
+    completion time is then pure arithmetic (``start + cumulative
+    occupancy``), so the consumer waits only when it outruns PCIe — at
+    line-rate streaming charges it never does, and a fetched packet costs
+    *zero* scheduler events.  Chunks come out as :class:`PayloadRef`
+    views.
+
+    Use with ``chunk = yield from plan.next_chunk()`` from the consuming
+    process, strictly in order.
+    """
+
+    __slots__ = ("_dma", "_env", "_chunk_pieces", "_cum", "_start",
+                 "_index", "_stable")
+
+    def __init__(self, dma: "DmaEngine", chunk_pieces, cum_ends,
+                 start: int, stable: bool = False) -> None:
+        self._dma = dma
+        self._env = dma.env
+        self._chunk_pieces = chunk_pieces
+        self._cum = cum_ends
+        self._start = start
+        self._index = 0
+        self._stable = stable
+
+    def next_chunk(self):
+        """Process helper: the next chunk, at its PCIe arrival time."""
+        index = self._index
+        self._index = index + 1
+        env = self._env
+        due = self._start + self._cum[index]
+        if due > env.now:
+            yield env.timeout(due - env.now)
+        return self._dma._view_of(self._chunk_pieces[index], self._stable)
+
+
+class StreamChunks:
+    """Adapter giving a fetch Stream the FetchPlan consumer protocol
+    (used by the per-word validation mode, which keeps the explicit
+    chunk-by-chunk delivery process)."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(self, queue) -> None:
+        self._queue = queue
+
+    def next_chunk(self):
+        chunk = yield self._queue.get()
+        return chunk
 
 
 class DmaEngine:
@@ -71,7 +139,67 @@ class DmaEngine:
         self.writes = metrics.counter(f"{name}.writes")
         self.bytes_read = metrics.counter(f"{name}.bytes_read")
         self.bytes_written = metrics.counter(f"{name}.bytes_written")
+        #: Payload bytes that crossed this engine by reference (views)
+        #: vs. as materialized copies — the zero-copy plane's obs view.
+        self.payload_ref_bytes = metrics.counter(
+            f"{name}.payload_ref_bytes")
+        self.payload_copy_bytes = metrics.counter(
+            f"{name}.payload_copy_bytes")
         self._watches: List[Tuple[int, int, Event]] = []
+
+    # ------------------------------------------------------------------
+    # Link accounting helpers
+    # ------------------------------------------------------------------
+    def _effective(self, num_bytes: int, sequential: bool) -> int:
+        if sequential:
+            return num_bytes
+        # Random access wastes bandwidth on partial bursts (Section 7):
+        # model as inflated occupancy.
+        return int(num_bytes / self.config.pcie_random_access_factor)
+
+    def _view_of(self, pieces, stable: bool = False) -> PayloadRef:
+        """One PayloadRef spanning a chunk's TLB pieces (no copy).
+
+        ``stable`` marks a send buffer the application must not touch
+        until completion (the aliasing contract validation mode checks);
+        responder-served READ sources stay ``False`` — they may legally
+        race local writes."""
+        memory = self.memory
+        if len(pieces) == 1:
+            paddr, n = pieces[0]
+            return memory.read_view(paddr, n, stable=stable)
+        return PayloadRef.concat(
+            memory.read_view(paddr, n, stable=stable)
+            for paddr, n in pieces)
+
+    def _burst_duration(self, link: BandwidthLink, piece_lengths,
+                        sequential: bool) -> int:
+        occupancy = link.occupancy_ps
+        total = 0
+        for n in piece_lengths:
+            total += occupancy(self._effective(n, sequential))
+        return total
+
+    def _burst_perword(self, link: BandwidthLink, piece_lengths,
+                       sequential: bool):
+        """Per-word validation mode: reserve the burst and replay the
+        per-word charges from the slot's start — ends at the same
+        picosecond as the batched single timeout."""
+        env = self.env
+        occupancy = link.occupancy_ps
+        total = self._burst_duration(link, piece_lengths, sequential)
+        start = link.reserve(total)
+        link.bytes_transferred += sum(piece_lengths)
+        if start > env.now:
+            yield env.timeout(start - env.now)
+        for n in piece_lengths:
+            duration = occupancy(self._effective(n, sequential))
+            # One timeout per data-path word; divmod spreads the piece
+            # duration so the per-word charges sum to it exactly.
+            words = self.config.words(n)
+            base, extra = divmod(duration, words)
+            for i in range(words):
+                yield env.timeout(base + 1 if i < extra else base)
 
     # ------------------------------------------------------------------
     # Transfers (process helpers: use with ``yield from``)
@@ -79,32 +207,82 @@ class DmaEngine:
     def read(self, vaddr: int, length: int, sequential: bool = True):
         """Fetch ``length`` bytes at virtual ``vaddr`` from host memory.
 
-        Returns the bytes.  Costs one PCIe round-trip latency (which
-        overlaps between outstanding reads) plus one FIFO burst on the
-        host->card lanes; random access patterns pay the reduced
-        effective bandwidth of Section 7.
+        Returns the bytes (a materialization point: kernels inspect what
+        they read).  Costs one PCIe round-trip latency (which overlaps
+        between outstanding reads) plus one FIFO burst on the host->card
+        lanes; random access patterns pay the reduced effective
+        bandwidth of Section 7.
         """
         span = None if self.trace is None else self.trace.begin_span(
             self.name, "dma_read", vaddr=vaddr, length=length)
         pieces = list(self.tlb.split_command(vaddr, length))
-        yield self.env.timeout(self.config.pcie_read_latency)
-        yield self.read_link._mutex.acquire()
-        try:
-            chunks = []
-            for paddr, chunk_len in pieces:
-                yield from self._occupy(self.read_link, chunk_len,
-                                        sequential)
-                chunks.append(self.memory.read(paddr, chunk_len))
-        finally:
-            self.read_link._mutex.release()
+        env = self.env
+        lengths = [n for _, n in pieces]
+        if self.config.per_word_accounting:
+            yield env.timeout(self.config.pcie_read_latency)
+            yield from self._burst_perword(self.read_link, lengths,
+                                           sequential)
+        else:
+            link = self.read_link
+            total = self._burst_duration(link, lengths, sequential)
+            start = link.reserve_after(
+                env.now + self.config.pcie_read_latency, total)
+            link.bytes_transferred += length
+            yield env.timeout(start + total - env.now)
         self.reads.add()
         self.bytes_read.add(length)
+        self.payload_copy_bytes.add(length)
+        data = b"".join(self.memory.read(paddr, n) for paddr, n in pieces) \
+            if len(pieces) > 1 else self.memory.read(*pieces[0])
         if self.trace is not None:
             self.trace.end_span(span)
-        return b"".join(chunks)
+        return data
+
+    def _split_chunks(self, vaddr: int, chunk_lengths):
+        chunk_pieces = []
+        cursor = vaddr
+        for chunk_len in chunk_lengths:
+            if chunk_len <= 0:
+                raise ValueError("chunk lengths must be positive")
+            chunk_pieces.append(
+                list(self.tlb.split_command(cursor, chunk_len)))
+            cursor += chunk_len
+        return chunk_pieces, cursor - vaddr
+
+    def read_plan(self, vaddr: int, chunk_lengths,
+                  sequential: bool = True,
+                  stable: bool = False) -> FetchPlan:
+        """Streaming fetch, zero-copy fast path: synchronously reserve
+        one PCIe burst (latency folded into the slot's floor) for all of
+        ``chunk_lengths`` and return a :class:`FetchPlan` whose consumer
+        receives each chunk (as a view) at exactly the time the old
+        chunk-delivery process would have put it — without any per-chunk
+        or even per-message events."""
+        chunk_pieces, total_bytes = self._split_chunks(vaddr, chunk_lengths)
+        occupancy = self.read_link.occupancy_ps
+        cum_ends = []
+        cum = 0
+        for pieces in chunk_pieces:
+            for _, n in pieces:
+                cum += occupancy(self._effective(n, sequential))
+            cum_ends.append(cum)
+        link = self.read_link
+        start = link.reserve_after(
+            self.env.now + self.config.pcie_read_latency, cum)
+        link.bytes_transferred += total_bytes
+        self.reads.add()
+        self.bytes_read.add(total_bytes)
+        self.payload_ref_bytes.add(total_bytes)
+        if self.trace is not None:
+            span = self.trace.begin_span(
+                self.name, "dma_stream_read", vaddr=vaddr)
+            self.env.timeout(start + cum - self.env.now).callbacks.append(
+                lambda _event, span=span:
+                    self.trace.end_span(span, length=total_bytes))
+        return FetchPlan(self, chunk_pieces, cum_ends, start, stable=stable)
 
     def read_stream(self, vaddr: int, chunk_lengths, out_stream,
-                    sequential: bool = True):
+                    sequential: bool = True, stable: bool = False):
         """Streaming fetch: deliver consecutive chunks of
         ``chunk_lengths`` bytes into ``out_stream`` as they cross PCIe.
 
@@ -114,82 +292,151 @@ class DmaEngine:
         cut-through — so a consumer (the TX path, a kernel) overlaps
         fetching with its own processing, and concurrent bursts are
         served strictly in issue order (no head-of-line interleaving).
+        Chunks are delivered as :class:`PayloadRef` views.
         """
         span = None if self.trace is None else self.trace.begin_span(
             self.name, "dma_stream_read", vaddr=vaddr)
-        yield self.env.timeout(self.config.pcie_read_latency)
-        yield self.read_link._mutex.acquire()
-        try:
-            cursor = vaddr
-            total = 0
-            for chunk_len in chunk_lengths:
-                if chunk_len <= 0:
-                    raise ValueError("chunk lengths must be positive")
-                parts = []
-                for paddr, piece_len in self.tlb.split_command(cursor,
-                                                               chunk_len):
-                    yield from self._occupy(self.read_link, piece_len,
-                                            sequential)
-                    parts.append(self.memory.read(paddr, piece_len))
-                cursor += chunk_len
-                total += chunk_len
-                yield out_stream.put(b"".join(parts))
-        finally:
-            self.read_link._mutex.release()
+        chunk_pieces, total_bytes = self._split_chunks(vaddr, chunk_lengths)
+        env = self.env
+        link = self.read_link
+        occupancy = link.occupancy_ps
+        durations = [
+            sum(occupancy(self._effective(n, sequential)) for _, n in pieces)
+            for pieces in chunk_pieces]
+        per_word = self.config.per_word_accounting
+        if per_word:
+            yield env.timeout(self.config.pcie_read_latency)
+            start = link.reserve(sum(durations))
+            link.bytes_transferred += total_bytes
+            if start > env.now:
+                yield env.timeout(start - env.now)
+        else:
+            start = link.reserve_after(
+                env.now + self.config.pcie_read_latency, sum(durations))
+            link.bytes_transferred += total_bytes
+        due = start
+        for pieces, duration in zip(chunk_pieces, durations):
+            due += duration
+            if per_word:
+                for _, n in pieces:
+                    piece_dur = occupancy(self._effective(n, sequential))
+                    words = self.config.words(n)
+                    base, extra = divmod(piece_dur, words)
+                    for i in range(words):
+                        yield env.timeout(base + 1 if i < extra else base)
+            elif due > env.now:
+                yield env.timeout(due - env.now)
+            yield out_stream.put(self._view_of(pieces, stable))
         self.reads.add()
-        self.bytes_read.add(total)
+        self.bytes_read.add(total_bytes)
+        self.payload_ref_bytes.add(total_bytes)
         if self.trace is not None:
-            self.trace.end_span(span, length=total)
+            self.trace.end_span(span, length=total_bytes)
 
-    def write(self, vaddr: int, data: bytes, sequential: bool = True):
-        """Post ``data`` to virtual ``vaddr`` in host memory.
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _commit_write(self, vaddr: int, pieces, data, length: int,
+                      span) -> None:
+        """Land ``data`` in the destination pages (burst completion)."""
+        memory = self.memory
+        if isinstance(data, PayloadRef):
+            self.payload_ref_bytes.add(length)
+            if len(pieces) == 1:
+                memory.write_views(pieces[0][0], data.segments())
+            else:
+                offset = 0
+                for paddr, n in pieces:
+                    memory.write_views(paddr,
+                                       data.slice(offset, n).segments())
+                    offset += n
+        else:
+            self.payload_copy_bytes.add(length)
+            view = memoryview(data)
+            offset = 0
+            for paddr, n in pieces:
+                memory.write(paddr, view[offset:offset + n])
+                offset += n
+        self.writes.add()
+        self.bytes_written.add(length)
+        if self.trace is not None:
+            self.trace.end_span(span)
+        self._fire_watches(vaddr, length)
+
+    def write(self, vaddr: int, data, sequential: bool = True):
+        """Post ``data`` (bytes or a :class:`PayloadRef`) to virtual
+        ``vaddr`` in host memory.
 
         Completes (in simulation) when the data is globally visible to
         the host: posted-write latency (overlapping between writes) plus
-        one FIFO burst on the card->host lanes.
+        one FIFO burst on the card->host lanes.  View payloads land in
+        the destination pages by scatter-gather slice assignment — no
+        staging copy anywhere on the path.
         """
-        if not data:
+        length = len(data)
+        if not length:
             return
         span = None if self.trace is None else self.trace.begin_span(
-            self.name, "dma_write", vaddr=vaddr, length=len(data))
-        pieces = list(self.tlb.split_command(vaddr, len(data)))
-        yield self.env.timeout(self.config.pcie_write_latency)
-        yield self.write_link._mutex.acquire()
-        try:
-            view = memoryview(data)
-            for paddr, chunk_len in pieces:
-                yield from self._occupy(self.write_link, chunk_len,
-                                        sequential)
-                self.memory.write(paddr, bytes(view[:chunk_len]))
-                view = view[chunk_len:]
-        finally:
-            self.write_link._mutex.release()
-        self.writes.add()
-        self.bytes_written.add(len(data))
-        if self.trace is not None:
-            self.trace.end_span(span)
-        self._fire_watches(vaddr, len(data))
-
-    def _occupy(self, link: BandwidthLink, num_bytes: int,
-                sequential: bool):
-        """Occupy an (already acquired) link for one piece's time."""
-        effective = num_bytes
-        if not sequential:
-            # Random access wastes bandwidth on partial bursts (Section 7):
-            # model as inflated occupancy.
-            effective = int(num_bytes / self.config.pcie_random_access_factor)
-        duration = link.occupancy_ps(effective)
+            self.name, "dma_write", vaddr=vaddr, length=length)
+        pieces = list(self.tlb.split_command(vaddr, length))
+        env = self.env
+        lengths = [n for _, n in pieces]
         if self.config.per_word_accounting:
-            # One timeout per data-path word; divmod spreads the burst
-            # duration so the per-word charges sum to it exactly.
-            words = self.config.words(num_bytes)
-            base, extra = divmod(duration, words)
-            for i in range(words):
-                yield self.env.timeout(base + 1 if i < extra else base)
+            yield env.timeout(self.config.pcie_write_latency)
+            yield from self._burst_perword(self.write_link, lengths,
+                                           sequential)
         else:
-            yield self.env.timeout(duration)
-        link.bytes_transferred += num_bytes
-        link.busy_time += duration
+            link = self.write_link
+            total = self._burst_duration(link, lengths, sequential)
+            start = link.reserve_after(
+                env.now + self.config.pcie_write_latency, total)
+            link.bytes_transferred += length
+            yield env.timeout(start + total - env.now)
+        self._commit_write(vaddr, pieces, data, length, span)
+
+    def write_posted(self, vaddr: int, data, sequential: bool = True,
+                     on_done: Optional[Callable[[], None]] = None) -> None:
+        """Fire-and-forget :meth:`write`: reserve the card->host burst
+        synchronously and commit the data from a timeout callback at the
+        burst's end — the RX hot path's write costs one event and no
+        process.  ``on_done`` (if given) runs right after the data lands,
+        at the exact time a ``yield from write(...)`` caller would have
+        resumed."""
+        length = len(data)
+        if not length:
+            if on_done is not None:
+                on_done()
+            return
+        if self.config.per_word_accounting:
+            if on_done is None:
+                self.env.process(self.write(vaddr, data, sequential))
+            else:
+                self.env.process(
+                    self._write_then(vaddr, data, sequential, on_done))
+            return
+        span = None if self.trace is None else self.trace.begin_span(
+            self.name, "dma_write", vaddr=vaddr, length=length)
+        pieces = list(self.tlb.split_command(vaddr, length))
+        env = self.env
+        link = self.write_link
+        total = self._burst_duration(link, [n for _, n in pieces],
+                                     sequential)
+        start = link.reserve_after(
+            env.now + self.config.pcie_write_latency, total)
+        link.bytes_transferred += length
+
+        def _complete(_event, vaddr=vaddr, pieces=pieces, data=data,
+                      length=length, span=span, on_done=on_done):
+            self._commit_write(vaddr, pieces, data, length, span)
+            if on_done is not None:
+                on_done()
+
+        env.timeout(start + total - env.now).callbacks.append(_complete)
+
+    def _write_then(self, vaddr: int, data, sequential: bool,
+                    on_done: Callable[[], None]):
+        yield from self.write(vaddr, data, sequential)
+        on_done()
 
     # ------------------------------------------------------------------
     # Completion watches (host polling support)

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import NicConfig
 from ..core.kernel import MemCmd, RoceMeta, StromKernel
+from ..core.payload import as_bytes
 from ..core.registry import KernelRegistry
 from ..core.rpc import RPC_ERROR_NO_KERNEL, RpcPreamble
 from ..memory import PhysicalMemory
@@ -55,7 +56,7 @@ from ..roce.qp import (
 )
 from ..roce.retransmit import RetransmissionTimer
 from ..sim import Event, Resource, Simulator, Stream
-from .dma import DmaEngine
+from .dma import DmaEngine, StreamChunks
 from .tlb import Tlb
 
 
@@ -151,8 +152,15 @@ class StromNic:
         self._resp_gate: Event = Event(env)
         self._resp_gate.succeed()
 
-        self._cable_tx: Optional[Stream] = None
-        self._cable_rx: Optional[Stream] = None
+        self._cable: Optional[Cable] = None
+        self._cable_side: Optional[str] = None
+
+        # Fixed pipeline delays, precomputed once (config is immutable):
+        # the TX/RX hot paths run per packet.
+        self._tx_delay = config.cycles(
+            config.tx_pipeline_cycles + config.strom_arbitration_cycles)
+        self._rx_delay = config.cycles(config.rx_pipeline_cycles)
+        self._arb_delay = config.cycles(config.strom_arbitration_cycles)
 
         # Statistics
         from .controller import Controller
@@ -187,13 +195,14 @@ class StromNic:
     # ------------------------------------------------------------------
     def attach(self, cable: Cable, side: str) -> None:
         """Connect this NIC to one side ('a' or 'b') of a cable."""
-        if side == "a":
-            self._cable_tx, self._cable_rx = cable.a_tx, cable.a_rx
-        elif side == "b":
-            self._cable_tx, self._cable_rx = cable.b_tx, cable.b_rx
-        else:
+        if side not in ("a", "b"):
             raise ValueError("side must be 'a' or 'b'")
-        self.env.process(self._rx_loop())
+        self._cable = cable
+        self._cable_side = side
+        # Frames arrive via the receiver hook (no rx stream, no per-NIC
+        # rx loop process, no per-frame stream wake); the RX parse
+        # pipeline delay is folded into the cable's arrival callback.
+        cable.set_receiver(side, self._rx_arrive, self._rx_delay)
 
     def create_queue_pair(self, qpn: int, dest_qpn: int,
                           dest_ip: int) -> None:
@@ -306,8 +315,7 @@ class StromNic:
         if kernel is None:
             raise KeyError(
                 f"no kernel deployed for RPC op-code {command.rpc_op:#x}")
-        yield self.env.timeout(
-            self.config.cycles(self.config.strom_arbitration_cycles))
+        yield self.env.timeout(self._arb_delay)
         yield kernel.streams.qpn_in.put(command.qpn)
         yield kernel.streams.param_in.put(command.params)
         if command.completion is not None:
@@ -324,14 +332,15 @@ class StromNic:
         segments = segment_rpc_write(command.length)
         fetch_queue = Stream(self.env)
         self.env.process(self.dma.read_stream(
-            command.laddr, [seg.length for seg in segments], fetch_queue))
+            command.laddr, [seg.length for seg in segments], fetch_queue,
+            stable=True))
         for i, seg in enumerate(segments):
             chunk = yield fetch_queue.get()
             tail = i == len(segments) - 1
-            yield self.env.timeout(
-                self.config.cycles(self.config.strom_arbitration_cycles))
+            yield self.env.timeout(self._arb_delay)
+            # Kernels inspect their input: materialize the fetched view.
             yield kernel.streams.roce_data_in.put(
-                (command.qpn, chunk, tail))
+                (command.qpn, as_bytes(chunk), tail))
         if command.completion is not None:
             command.completion.succeed(self.env.now)
 
@@ -348,26 +357,35 @@ class StromNic:
             segments = segment_rpc_write(command.length)
         count = 1 if segments is None else len(segments)
         first_psn = qp.requester.allocate_psns(count)
-        fetch_queue: Optional[Stream] = None
+        fetch = None
         if command.payload_inline is None \
                 and command.kind in ("write", "rpc_write") \
                 and command.length > 0:
             # Streaming payload fetch.  Bursts are served in issue order
             # by the PCIe host->card lanes (FIFO inside the DMA engine),
             # while read latencies overlap between outstanding bursts.
-            fetch_queue = Stream(self.env)
-            self.env.process(self.dma.read_stream(
-                command.laddr,
-                [seg.length for seg in segments if seg.length > 0],
-                fetch_queue))
+            lengths = [seg.length for seg in segments if seg.length > 0]
+            if self.config.per_word_accounting:
+                # Validation mode keeps the explicit chunk-delivery
+                # process (per-word PCIe charges).
+                fetch_queue = Stream(self.env)
+                self.env.process(self.dma.read_stream(
+                    command.laddr, lengths, fetch_queue, stable=True))
+                fetch = StreamChunks(fetch_queue)
+            else:
+                # Fast path: chunk arrival times are arithmetic — zero
+                # scheduler events per fetched packet in steady state.
+                # stable=True: send buffers are contract-protected.
+                fetch = self.dma.read_plan(command.laddr, lengths,
+                                           stable=True)
         prev_gate, gate = self._tx_gate, Event(self.env)
         self._tx_gate = gate
         self.env.process(
             self._send_message(command, qp, segments, first_psn,
-                               prev_gate, gate, fetch_queue))
+                               prev_gate, gate, fetch))
 
     def _send_message(self, command, qp, segments, first_psn,
-                      prev_gate, gate, fetch_queue=None):
+                      prev_gate, gate, fetch=None):
         """Emit the message's packets in order behind all previously
         posted messages.  Memory-sourced payloads are fetched over PCIe
         as a *stream* overlapping transmission (descriptor bypass)."""
@@ -392,8 +410,8 @@ class StromNic:
             if command.kind == "rpc":
                 packet, tail = next(plan_iter)
             else:
-                if fetch_queue is not None and seg.length > 0:
-                    chunk = yield fetch_queue.get()
+                if fetch is not None and seg.length > 0:
+                    chunk = yield from fetch.next_chunk()
                 elif payload is not None:
                     chunk = payload[seg.offset:seg.offset + seg.length]
                 else:
@@ -421,7 +439,7 @@ class StromNic:
             # II=1 store-and-forward through the TX pipeline (ICRC).
             yield from self.config.streaming_charge(
                 self.env, packet.l3_bytes)
-            self.env.process(self._tx_deliver(packet))
+            self._tx_deliver(packet)
         if self.trace is not None:
             self.trace.end_span(span)
         if not qp.in_error:
@@ -461,17 +479,16 @@ class StromNic:
         yield prev_gate
         qp.requester.unacked.append(entry)
         yield from self.config.streaming_charge(self.env, packet.l3_bytes)
-        self.env.process(self._tx_deliver(packet))
+        self._tx_deliver(packet)
         if not qp.in_error:
             self.timer.arm(qp.qpn)
         gate.succeed()
 
-    def _tx_deliver(self, packet: RocePacket):
-        """Fixed TX pipeline latency, then hand the frame to the cable
-        (which paces at line rate)."""
-        yield self.env.timeout(self.config.cycles(
-            self.config.tx_pipeline_cycles
-            + self.config.strom_arbitration_cycles))
+    def _tx_deliver(self, packet: RocePacket) -> None:
+        """Hand the frame to the cable.  The fixed TX pipeline latency
+        is folded into the wire reservation's floor (``ready``), so
+        pipeline + serialization + propagation + the peer's RX parse
+        cost a single scheduler event on the fault-free path."""
         if not self.powered:
             self.crash_drops.add()
             return
@@ -481,22 +498,24 @@ class StromNic:
                               opcode=packet.bth.opcode.name,
                               psn=packet.bth.psn,
                               payload=len(packet.payload))
-        yield self._cable_tx.put(packet)
+        self._cable.send(self._cable_side, packet,
+                         ready=self.env.now + self._tx_delay)
 
     # ------------------------------------------------------------------
     # RX data path
     # ------------------------------------------------------------------
-    def _rx_loop(self):
-        while True:
-            packet = yield self._cable_rx.get()
-            self.env.process(self._handle_packet(packet))
-
-    def _handle_packet(self, packet: RocePacket):
+    def _rx_arrive(self, packet: RocePacket) -> None:
+        """Cable receiver hook (RX pipeline delay already charged)."""
         if not self.powered:
             self.crash_drops.add()
             return
-        yield self.env.timeout(
-            self.config.cycles(self.config.rx_pipeline_cycles))
+        self._rx_dispatch(packet)
+
+    def _rx_dispatch(self, packet: RocePacket) -> None:
+        """Classify one received frame.  Runs synchronously so PSN/MSN
+        state updates, ACK emission and gate chaining happen strictly in
+        arrival order; only tails that genuinely wait (READ serving,
+        kernel stream feeds) continue as processes."""
         self.packets_received.add()
         if self.trace is not None:
             self.trace.record(self.name, "rx",
@@ -517,12 +536,12 @@ class StromNic:
         if opcode == Opcode.ACKNOWLEDGE:
             self._handle_ack(qp, packet)
         elif is_read_response(opcode):
-            yield from self._handle_read_response(qp, packet)
+            self._handle_read_response(qp, packet)
         else:
-            yield from self._handle_request(qp, packet)
+            self._handle_request(qp, packet)
 
     # ----------------------- responder side ---------------------------
-    def _handle_request(self, qp, packet: RocePacket):
+    def _handle_request(self, qp, packet: RocePacket) -> None:
         responder = qp.responder
         verdict = responder.classify(packet.bth.psn)
         if verdict is PsnVerdict.OUT_OF_ORDER:
@@ -537,7 +556,7 @@ class StromNic:
             opcode = packet.bth.opcode
             if opcode == Opcode.READ_REQUEST:
                 # Duplicate reads are re-executed (idempotent).
-                yield from self._responder_read(qp, packet)
+                self.env.process(self._responder_read(qp, packet))
             else:
                 self._send_ack(qp, packet.bth.psn, responder.msn)
             return
@@ -545,23 +564,23 @@ class StromNic:
         self._nak_pending[qp.qpn] = False
         opcode = packet.bth.opcode
         if is_write(opcode):
-            yield from self._responder_write(qp, packet)
+            self._responder_write(qp, packet)
         elif opcode == Opcode.READ_REQUEST:
             count = read_response_packet_count(packet.reth.dma_length)
             responder.expected_psn = psn_add(packet.bth.psn, count)
             responder.msn = (responder.msn + 1) & 0xFFFFFF
-            yield from self._responder_read(qp, packet)
+            self.env.process(self._responder_read(qp, packet))
         elif opcode == Opcode.RPC_PARAMS:
             responder.expected_psn = psn_add(packet.bth.psn, 1)
             responder.msn = (responder.msn + 1) & 0xFFFFFF
             self._send_ack(qp, packet.bth.psn, responder.msn)
-            yield from self._dispatch_rpc(qp, packet)
+            self.env.process(self._dispatch_rpc(qp, packet))
         elif is_rpc_write(opcode):
-            yield from self._responder_rpc_write(qp, packet)
+            self._responder_rpc_write(qp, packet)
         else:
             self.packets_dropped.add()
 
-    def _responder_write(self, qp, packet: RocePacket):
+    def _responder_write(self, qp, packet: RocePacket) -> None:
         responder = qp.responder
         responder.expected_psn = psn_add(packet.bth.psn, 1)
         opcode = packet.bth.opcode
@@ -579,7 +598,8 @@ class StromNic:
             responder.write_cursor = None
             self._send_ack(qp, packet.bth.psn, responder.msn)
         if packet.payload:
-            yield from self.dma.write(cursor, packet.payload)
+            # Posted: the ACK above never waited for the write anyway.
+            self.dma.write_posted(cursor, packet.payload)
 
     def _responder_read(self, qp, packet: RocePacket):
         """Serve one READ: stream the payload from host memory over PCIe
@@ -588,16 +608,22 @@ class StromNic:
         prev_gate, gate = self._resp_gate, Event(self.env)
         self._resp_gate = gate
         segments = segment_read_response(packet.reth.dma_length)
-        fetch_queue = Stream(self.env)
-        self.env.process(self.dma.read_stream(
-            packet.reth.vaddr, [seg.length for seg in segments],
-            fetch_queue))
+        lengths = [seg.length for seg in segments]
+        if self.config.per_word_accounting:
+            fetch_queue = Stream(self.env)
+            self.env.process(self.dma.read_stream(
+                packet.reth.vaddr, lengths, fetch_queue))
+            fetch = StreamChunks(fetch_queue)
+        else:
+            # Zero-event fetch; stable stays False — READ-served memory
+            # may legally race local writes (see repro.core.payload).
+            fetch = self.dma.read_plan(packet.reth.vaddr, lengths)
         yield prev_gate
         span = None if self.trace is None else self.trace.begin_span(
             f"{self.name}.qp{qp.qpn}", "serve_read",
             length=packet.reth.dma_length, psn=packet.bth.psn)
         for i, seg in enumerate(segments):
-            chunk = yield fetch_queue.get()
+            chunk = yield from fetch.next_chunk()
             aeth = None
             if carries_aeth(seg.opcode):
                 aeth = Aeth(syndrome=0, msn=qp.responder.msn)
@@ -607,12 +633,12 @@ class StromNic:
                                   bth=bth, aeth=aeth, payload=chunk)
             yield from self.config.streaming_charge(
                 self.env, response.l3_bytes)
-            self.env.process(self._tx_deliver(response))
+            self._tx_deliver(response)
         if self.trace is not None:
             self.trace.end_span(span)
         gate.succeed()
 
-    def _responder_rpc_write(self, qp, packet: RocePacket):
+    def _responder_rpc_write(self, qp, packet: RocePacket) -> None:
         responder = qp.responder
         responder.expected_psn = psn_add(packet.bth.psn, 1)
         opcode = packet.bth.opcode
@@ -628,30 +654,32 @@ class StromNic:
         if kernel is None:
             self.packets_dropped.add()
             return
+        self.env.process(
+            self._rpc_write_feed(kernel, qp.qpn, packet.payload, tail))
+
+    def _rpc_write_feed(self, kernel, qpn: int, payload, tail: bool):
         # Arbitration into the kernel adds a few cycles (Section 5.1).
-        yield self.env.timeout(
-            self.config.cycles(self.config.strom_arbitration_cycles))
-        yield kernel.streams.roce_data_in.put(
-            (qp.qpn, packet.payload, tail))
+        yield self.env.timeout(self._arb_delay)
+        # Kernels inspect their input: materialize forwarded views here.
+        yield kernel.streams.roce_data_in.put((qpn, as_bytes(payload), tail))
 
     def _dispatch_rpc(self, qp, packet: RocePacket):
         rpc_opcode = packet.reth.vaddr
         kernel = self.registry.match(rpc_opcode)
         if kernel is not None:
-            yield self.env.timeout(
-                self.config.cycles(self.config.strom_arbitration_cycles))
+            yield self.env.timeout(self._arb_delay)
             yield kernel.streams.qpn_in.put(qp.qpn)
-            yield kernel.streams.param_in.put(packet.payload)
+            yield kernel.streams.param_in.put(as_bytes(packet.payload))
             return
         if self.registry.fallback is not None:
             self.registry.fallbacks.add()
             self.env.process(self.registry.fallback(
-                qp.qpn, rpc_opcode, packet.payload))
+                qp.qpn, rpc_opcode, as_bytes(packet.payload)))
             return
         # No kernel, no fallback: write an error code back to the
         # requesting node (Section 5.1).
         try:
-            preamble = RpcPreamble.unpack(packet.payload)
+            preamble = RpcPreamble.unpack(as_bytes(packet.payload))
         except ValueError:
             self.packets_dropped.add()
             return
@@ -672,7 +700,7 @@ class StromNic:
             self.acks_sent.add()
             if self.trace is not None:
                 self.trace.record(self.name, "ack", psn=psn, msn=msn)
-        self.env.process(self._tx_deliver(ack))
+        self._tx_deliver(ack)
 
     # ----------------------- requester side ---------------------------
     def _handle_ack(self, qp, packet: RocePacket) -> None:
@@ -701,7 +729,7 @@ class StromNic:
         else:
             self.timer.disarm(qp.qpn)
 
-    def _handle_read_response(self, qp, packet: RocePacket):
+    def _handle_read_response(self, qp, packet: RocePacket) -> None:
         if self.multiqueue.is_empty(qp.qpn):
             self.packets_dropped.add()
             return
@@ -723,19 +751,30 @@ class StromNic:
                 self.trace.end_span(context.span)
                 context.span = None
         if packet.payload:
-            yield from self.dma.write(context.laddr + offset, packet.payload)
-        if final:
-            if context.completion is not None \
-                    and not context.completion.triggered:
-                context.completion.succeed(self.env.now)
-            self.read_credits.release()
-            if self.metrics.sampling_enabled:
-                self._outstanding_reads.sample(self.env.now,
-                                               self.read_credits.in_use)
-            if qp.requester.unacked:
-                self.timer.arm(qp.qpn)
-            else:
-                self.timer.disarm(qp.qpn)
+            # Posted write-back; the READ completes (and its credit
+            # frees) only once the final packet's data has landed —
+            # exactly when the old blocking write resumed.
+            on_done = None
+            if final:
+                on_done = lambda qp=qp, context=context: \
+                    self._finish_read(qp, context)
+            self.dma.write_posted(context.laddr + offset, packet.payload,
+                                  on_done=on_done)
+        elif final:
+            self._finish_read(qp, context)
+
+    def _finish_read(self, qp, context: _ReadContext) -> None:
+        if context.completion is not None \
+                and not context.completion.triggered:
+            context.completion.succeed(self.env.now)
+        self.read_credits.release()
+        if self.metrics.sampling_enabled:
+            self._outstanding_reads.sample(self.env.now,
+                                           self.read_credits.in_use)
+        if qp.requester.unacked:
+            self.timer.arm(qp.qpn)
+        else:
+            self.timer.disarm(qp.qpn)
 
     def _release_read_entry(self, qp, context: _ReadContext) -> None:
         requester = qp.requester
@@ -778,7 +817,7 @@ class StromNic:
                                   psn=entry.first_psn, kind=entry.kind)
             yield from self.config.streaming_charge(
                 self.env, entry.packet.l3_bytes)
-            self.env.process(self._tx_deliver(entry.packet))
+            self._tx_deliver(entry.packet)
         self.timer.arm(qp.qpn)
 
     # ------------------------------------------------------------------

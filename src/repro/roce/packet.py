@@ -4,15 +4,23 @@ One :class:`RocePacket` is the unit that travels over the simulated cable
 and through the RX/TX pipelines.  Packets serialize to real bytes
 (IP + UDP + BTH [+ RETH|AETH] + payload + ICRC) and parse back, so header
 bugs show up as test failures rather than silent model drift.
+
+Headers are always real bytes; the *payload* may be a
+:class:`~repro.core.payload.PayloadRef` — views over the source memory
+that every forwarding hop (TX pipeline, cable, switch, RX pipeline)
+passes along untouched.  Materialization happens only at true
+consumption points: :meth:`RocePacket.to_bytes` (ICRC over the wire
+image) and the receiving DMA/kernel boundary.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Optional
+from typing import Optional, Union
 
 from .. import config
+from ..core.payload import PayloadRef, as_bytes
 from ..net.headers import Ipv4Header, UdpHeader
 from .headers import Aeth, Bth, Reth, icrc32
 from .opcodes import Opcode, carries_aeth, carries_reth
@@ -41,7 +49,7 @@ class RocePacket:
     bth: Bth
     reth: Optional[Reth] = None
     aeth: Optional[Aeth] = None
-    payload: bytes = b""
+    payload: Union[bytes, PayloadRef] = b""
     #: Set by the link model when injected corruption breaks the ICRC.
     corrupted: bool = False
 
@@ -89,7 +97,7 @@ class RocePacket:
             transport += self.reth.to_bytes()
         if self.aeth is not None:
             transport += self.aeth.to_bytes()
-        transport += self.payload
+        transport += as_bytes(self.payload)  # materialization point
         crc = icrc32(transport)
         if self.corrupted:
             crc ^= 0xFFFFFFFF

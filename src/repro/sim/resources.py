@@ -81,6 +81,14 @@ class BandwidthLink:
     Transfers are serialized: a transfer of ``n`` bytes holds the link for
     its serialization time.  ``per_transfer_overhead_bytes`` charges fixed
     framing/TLP overhead per transfer.
+
+    FIFO discipline is enforced *arithmetically*: :meth:`reserve` hands
+    out back-to-back time slots from a running ``free_at`` cursor in call
+    order, so a transfer costs one timeout to its slot's end instead of a
+    mutex acquire + occupancy + release.  Timestamps are identical to the
+    queued-mutex formulation (a caller's slot starts at
+    ``max(now, free_at)``, exactly when the mutex would have granted it)
+    at a fraction of the event count.
     """
 
     def __init__(self, env: "Simulator", bits_per_second: float,
@@ -92,26 +100,56 @@ class BandwidthLink:
         self.bits_per_second = bits_per_second
         self.per_transfer_overhead_bytes = per_transfer_overhead_bytes
         self.name = name
-        self._mutex = Resource(env, capacity=1)
         self.bytes_transferred = 0
         self.busy_time = 0
+        self._free_at = 0
+
+    @property
+    def free_at(self) -> int:
+        """Time the last reserved slot ends (the FIFO cursor)."""
+        return self._free_at
 
     def occupancy_ps(self, num_bytes: int) -> int:
         """Serialization time of a transfer of ``num_bytes`` payload."""
         total = num_bytes + self.per_transfer_overhead_bytes
         return timebase.transfer_time_ps(total, self.bits_per_second)
 
+    def reserve(self, duration: int) -> int:
+        """Claim the next ``duration`` picoseconds of link time (FIFO in
+        call order); returns the slot's start time, >= now."""
+        if duration < 0:
+            raise ValueError("negative reservation")
+        start = self._free_at
+        now = self.env.now
+        if start < now:
+            start = now
+        self._free_at = start + duration
+        self.busy_time += duration
+        return start
+
+    def reserve_after(self, ready: int, duration: int) -> int:
+        """Like :meth:`reserve`, but the slot starts no earlier than
+        ``ready`` — used to fold a fixed pre-transfer latency into the
+        reservation so latency + occupancy cost one timeout.  Equivalent
+        to sleeping until ``ready`` and then reserving, provided every
+        competing caller pays the same latency (call order == the order
+        the sleeps would have finished)."""
+        if duration < 0:
+            raise ValueError("negative reservation")
+        start = self._free_at
+        if start < ready:
+            start = ready
+        self._free_at = start + duration
+        self.busy_time += duration
+        return start
+
     def transfer(self, num_bytes: int) -> Generator[Event, None, None]:
         """Process helper: occupy the link for one transfer of
         ``num_bytes`` (FIFO with respect to concurrent transfers)."""
         duration = self.occupancy_ps(num_bytes)
-        yield self._mutex.acquire()
-        try:
-            yield self.env.timeout(duration)
-            self.bytes_transferred += num_bytes
-            self.busy_time += duration
-        finally:
-            self._mutex.release()
+        start = self.reserve(duration)
+        self.bytes_transferred += num_bytes
+        yield self.env.timeout(start + duration - self.env.now)
 
     def utilization(self) -> float:
         """Fraction of elapsed simulated time the link was busy."""
