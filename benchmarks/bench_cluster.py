@@ -36,6 +36,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.cluster_scaling import run_cluster_point  # noqa: E402
 from repro.experiments.fault_sweep import run_fault_point  # noqa: E402
+from repro.experiments.incast_sweep import run_incast_point  # noqa: E402
 from repro.sim.timebase import MS  # noqa: E402
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__),
@@ -53,6 +54,13 @@ LOSSY_MEAN_LOSS = 0.01
 #: WRITEs + READs between two 100 G hosts through the switch.
 LARGE_SIZE = 256 * 1024
 LARGE_REPS = {"smoke": 8, "full": 32}
+#: The incast scenario (congestion-control plane): 8 senders blast one
+#: receiver through the shared switch port, with and without ECN/DCQCN.
+INCAST_SENDERS = 8
+INCAST_MESSAGES = {"smoke": 40, "full": 100}
+#: The acceptance bar: congestion control must at least double goodput
+#: at 8:1 fan-in (measured: ~4.5x on the checked-in baseline).
+INCAST_MIN_SPEEDUP = 2.0
 
 
 def run_point(mode: str) -> dict:
@@ -138,6 +146,31 @@ def run_large_point(mode: str) -> dict:
     }
 
 
+def run_incast_bench(mode: str) -> dict:
+    """Incast point for the congestion-control plane: the same seeded
+    8:1 fan-in with DCQCN off, then on.  The simulated goodputs are
+    deterministic; the gate asserts the on/off ratio and the tail
+    improvements rather than absolute rates."""
+    messages = INCAST_MESSAGES[mode]
+    start = time.perf_counter()
+    off = run_incast_point(INCAST_SENDERS, cc=False, seed=7,
+                           messages=messages)
+    on = run_incast_point(INCAST_SENDERS, cc=True, seed=7,
+                          messages=messages)
+    wall = time.perf_counter() - start
+    return {
+        "off_goodput_gbps": off["goodput_gbps"],
+        "on_goodput_gbps": on["goodput_gbps"],
+        "speedup": round(on["goodput_gbps"] / off["goodput_gbps"], 3),
+        "off_p99_us": off["p99_us"],
+        "on_p99_us": on["p99_us"],
+        "off_tail_drops": off["tail_drops"],
+        "on_tail_drops": on["tail_drops"],
+        "on_qp_errors": on["qp_errors"],
+        "wall_s": round(wall, 3),
+    }
+
+
 def load_baseline() -> dict:
     with open(BASELINE_PATH) as handle:
         return json.load(handle)
@@ -176,6 +209,37 @@ def check_large(measured: dict, base: dict, threshold: float) -> list:
     return failures
 
 
+def check_incast(measured: dict, base: dict, threshold: float) -> list:
+    """Gate: DCQCN must keep paying for itself at 8:1 fan-in — at least
+    2x the uncontrolled goodput, with a lower p99, fewer tail-drops,
+    and zero retry-exhausted QPs — and the controlled goodput must not
+    sink versus the checked-in baseline."""
+    failures = []
+    if measured["speedup"] < INCAST_MIN_SPEEDUP:
+        failures.append(
+            f"cc-on goodput is only {measured['speedup']:.2f}x cc-off "
+            f"(gate: >= {INCAST_MIN_SPEEDUP:.1f}x)")
+    if measured["on_p99_us"] >= measured["off_p99_us"]:
+        failures.append(
+            f"cc-on p99 {measured['on_p99_us']:.1f} us is not below "
+            f"cc-off p99 {measured['off_p99_us']:.1f} us")
+    if measured["on_tail_drops"] >= measured["off_tail_drops"]:
+        failures.append(
+            f"cc-on tail-drops {measured['on_tail_drops']} not below "
+            f"cc-off {measured['off_tail_drops']}")
+    if measured["on_qp_errors"]:
+        failures.append(
+            f"{measured['on_qp_errors']} QPs exhausted retries with "
+            "congestion control on (expected 0)")
+    floor = base["on_goodput_gbps"] * (1.0 - threshold)
+    if measured["on_goodput_gbps"] < floor:
+        failures.append(
+            f"on_goodput_gbps {measured['on_goodput_gbps']:.2f} is more "
+            f"than {threshold:.0%} below baseline "
+            f"{base['on_goodput_gbps']:.2f}")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Sharded-KV cluster benchmark + regression gate")
@@ -191,6 +255,9 @@ def main(argv=None) -> int:
     parser.add_argument("--large", action="store_true",
                         help=f"run the {LARGE_SIZE // 1024} KiB "
                              "large-message scenario instead")
+    parser.add_argument("--incast", action="store_true",
+                        help=f"run the {INCAST_SENDERS}:1 incast "
+                             "scenario (DCQCN off vs on) instead")
     parser.add_argument("--json", metavar="FILE",
                         help="also dump measured metrics to FILE")
     args = parser.parse_args(argv)
@@ -201,6 +268,8 @@ def main(argv=None) -> int:
                         for mode in WINDOWS})
         payload.update({f"large-{mode}": run_large_point(mode)
                         for mode in WINDOWS})
+        payload.update({f"incast-{mode}": run_incast_bench(mode)
+                        for mode in WINDOWS})
         with open(BASELINE_PATH, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -208,7 +277,10 @@ def main(argv=None) -> int:
         return 0
 
     window = "smoke" if args.smoke else "full"
-    if args.large:
+    if args.incast:
+        mode = f"incast-{window}"
+        measured = run_incast_bench(window)
+    elif args.large:
         mode = f"large-{window}"
         measured = run_large_point(window)
     elif args.lossy:
@@ -220,7 +292,11 @@ def main(argv=None) -> int:
     baseline = load_baseline().get(mode) \
         if os.path.exists(BASELINE_PATH) else None
 
-    if args.large:
+    if args.incast:
+        print(f"mode={mode}  senders={INCAST_SENDERS}  "
+              f"messages={INCAST_MESSAGES[window]} x 16 KiB per sender  "
+              f"(cc off vs on)")
+    elif args.large:
         print(f"mode={mode}  hosts=2  message={LARGE_SIZE // 1024} KiB  "
               f"reps={LARGE_REPS[window]} per direction")
     else:
@@ -240,7 +316,12 @@ def main(argv=None) -> int:
         print("no baseline; run with --update-baseline to create one",
               file=sys.stderr)
         return 0
-    checker = check_large if args.large else check
+    if args.incast:
+        checker = check_incast
+    elif args.large:
+        checker = check_large
+    else:
+        checker = check
     failures = checker(measured, baseline, args.threshold)
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -9,7 +9,10 @@ paper's qualitative claims (who wins, by roughly what factor).
 Every scenario additionally reports the zero-copy payload plane's
 counter delta — payload bytes materialized as fresh copies vs. handed
 across the memory boundary by reference — so a regression that silently
-reintroduces per-hop copying shows up in the benchmark log.
+reintroduces per-hop copying shows up in the benchmark log.  Scenarios
+that exercise the congestion-control plane likewise get their CC
+activity delta (CE marks, CNPs, rate cuts, paced packets) echoed, so a
+change that silently stops the control loop from firing is visible.
 """
 
 import os
@@ -19,6 +22,7 @@ import pytest
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.cc import CC_STATS  # noqa: E402
 from repro.core.payload import PAYLOAD_STATS  # noqa: E402
 
 
@@ -42,3 +46,19 @@ def payload_copy_report(request):
     if copied or referenced:
         print(f"\npayload plane [{request.node.name}]: {copied:,} B "
               f"copied, {referenced:,} B by reference")
+
+
+@pytest.fixture(autouse=True)
+def cc_activity_report(request):
+    """Print the congestion-control counter delta per benchmark
+    scenario (silent for scenarios that never enable the plane)."""
+    before = CC_STATS.snapshot()
+    yield
+    after = CC_STATS.snapshot()
+    delta = {key: after[key] - before[key] for key in after}
+    if any(delta.values()):
+        print(f"\ncc plane [{request.node.name}]: "
+              f"{delta['ce_marks']:,} CE marks, "
+              f"{delta['cnps_sent']:,} CNPs, "
+              f"{delta['rate_cuts']:,} rate cuts, "
+              f"{delta['paced_packets']:,} paced packets")

@@ -1,0 +1,54 @@
+"""Congestion-control plane: ECN marking, DCQCN rate control, pacing.
+
+The cluster substrate (:mod:`repro.cluster`) gave the fabric bounded
+switch queues and tail-drop — and with them real congestion collapse:
+at N:1 incast the egress queue overflows, go-back-N amplifies every
+drop into a full-window retransmission, and goodput craters.  This
+package adds the control loop real RoCE deployments run instead of
+(or alongside) PFC:
+
+- :mod:`~repro.cc.ecn` — a RED-style ECN marker applied at switch
+  egress: above ``kmin`` queued frames the CE mark probability ramps
+  linearly to ``pmax`` at ``kmax``, above which every frame is marked.
+  The CE bit travels in the two ECN bits of the IPv4 ToS byte
+  (:mod:`repro.net.headers`).
+- CNP generation at the receiving NIC: a CE-marked data packet makes
+  the receiver send one Congestion Notification Packet (a dedicated
+  RoCE opcode, :data:`repro.roce.opcodes.Opcode.CNP`) back to the
+  sender, rate-limited per queue pair.
+- :mod:`~repro.cc.dcqcn` — the per-QP DCQCN rate machine: an alpha
+  EWMA of congestion, multiplicative decrease on CNP, timer-driven
+  fast-recovery / additive / hyper rate increase back to line rate.
+- :mod:`~repro.cc.pacing` — a per-QP token-bucket pacer inserting
+  inter-packet gaps ahead of the cable so the allowed rate is enforced
+  at the NIC's TX arbiter, not discovered at the switch queue.
+- :mod:`~repro.cc.plane` — :class:`CcConfig` bundling the knobs and
+  :class:`NicCongestionControl`, the per-NIC object the RoCE engine
+  calls into (``StromNic.enable_congestion_control``).
+
+Everything is **off by default**: without an explicit
+``enable_congestion_control`` call (NIC side) and an ``ecn`` entry in
+:class:`~repro.cluster.switch.SwitchConfig` (switch side), no code
+path, RNG draw, or scheduled event changes — seeded runs stay
+bit-identical to the pre-CC simulator.
+"""
+
+from .dcqcn import DcqcnConfig, DcqcnRateMachine
+from .ecn import ECN_CE, ECN_ECT0, ECN_NOT_ECT, EcnConfig, EcnMarker
+from .pacing import TokenBucketPacer
+from .plane import CC_STATS, CcConfig, CcStats, NicCongestionControl
+
+__all__ = [
+    "CC_STATS",
+    "CcConfig",
+    "CcStats",
+    "DcqcnConfig",
+    "DcqcnRateMachine",
+    "ECN_CE",
+    "ECN_ECT0",
+    "ECN_NOT_ECT",
+    "EcnConfig",
+    "EcnMarker",
+    "NicCongestionControl",
+    "TokenBucketPacer",
+]

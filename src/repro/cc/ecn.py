@@ -1,0 +1,89 @@
+"""ECN marking: a RED-style probability ramp over egress queue depth.
+
+DCQCN's congestion signal is generated where congestion happens — the
+switch egress queue.  The marker implements the standard Kmin/Kmax
+ramp (RED on instantaneous depth, as DCQCN specifies):
+
+- depth ``<= kmin_frames``   — never mark;
+- depth ``>= kmax_frames``   — always mark;
+- in between                 — mark with probability
+  ``pmax * (depth - kmin) / (kmax - kmin)``.
+
+Marking sets the two ECN bits of the IPv4 ToS byte to CE (``0b11``).
+The model marks every RoCE frame regardless of the transmitted ECT
+codepoint — the simulated NICs are the only traffic sources and are
+ECN-capable by construction when congestion control is enabled.
+
+Marking draws come from one seeded RNG per switch, so a marked run is
+exactly reproducible and independent of any link's fault RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: IPv4 ECN codepoints (RFC 3168), the low two bits of the ToS byte.
+ECN_NOT_ECT = 0b00
+ECN_ECT1 = 0b01
+ECN_ECT0 = 0b10
+ECN_CE = 0b11
+
+
+@dataclass(frozen=True)
+class EcnConfig:
+    """Marking-threshold knobs for one switch (RED/DCQCN ramp).
+
+    Defaults sized for the default 64-frame egress queues: marking
+    starts early (1/16 occupancy) and saturates at three-eighths,
+    leaving the upper five-eighths of the buffer as headroom for the
+    control loop's reaction time before tail-drop starts — with no PFC
+    backstop, early aggressive marking is what keeps incast out of the
+    go-back-N regime.
+    """
+
+    #: Queue depth (frames) below which nothing is marked.
+    kmin_frames: int = 4
+    #: Queue depth (frames) at which marking probability reaches pmax
+    #: (and above which every frame is marked).
+    kmax_frames: int = 24
+    #: Marking probability at kmax.
+    pmax: float = 0.5
+    #: Seed for the switch's marking RNG.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kmin_frames < 0:
+            raise ValueError("kmin must be non-negative")
+        if self.kmax_frames <= self.kmin_frames:
+            raise ValueError("kmax must exceed kmin")
+        if not 0.0 < self.pmax <= 1.0:
+            raise ValueError("pmax must be within (0, 1]")
+
+
+class EcnMarker:
+    """Per-switch marking state: one seeded RNG + the configured ramp."""
+
+    def __init__(self, config: EcnConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+
+    def mark_probability(self, queue_depth: int) -> float:
+        """The ramp: 0 below kmin, linear to pmax at kmax, 1 above."""
+        config = self.config
+        if queue_depth <= config.kmin_frames:
+            return 0.0
+        if queue_depth >= config.kmax_frames:
+            return 1.0
+        span = config.kmax_frames - config.kmin_frames
+        return config.pmax * (queue_depth - config.kmin_frames) / span
+
+    def should_mark(self, queue_depth: int) -> bool:
+        """One marking decision (draws from the RNG only on the ramp,
+        so fully idle and fully congested queues cost no draw)."""
+        probability = self.mark_probability(queue_depth)
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self._rng.random() < probability

@@ -1,0 +1,71 @@
+"""Token-bucket pacing at the NIC TX arbiter.
+
+DCQCN enforces the allowed rate at the *sender*: instead of letting a
+throttled QP blast at line rate and re-discovering congestion at the
+switch queue, the NIC inserts inter-packet gaps ahead of the cable so
+the wire sees the shaped rate directly.
+
+One :class:`TokenBucketPacer` fronts one queue pair.  Tokens are
+wire bytes (full Ethernet framing including preamble/IFG, the same
+accounting the cable charges) and refill continuously at the rate
+machine's *current* allowed rate, capped at a small burst so a queue
+pair that went idle cannot bank unbounded credit.
+
+Determinism contract: while the rate machine is at line rate (never
+cut, or fully recovered) ``pace`` returns without yielding — zero
+scheduler events, so a congestion-free run with CC enabled schedules
+exactly like the cable-limited baseline.  Only after a CNP has
+actually throttled the QP does the pacer start inserting timeouts.
+"""
+
+from __future__ import annotations
+
+from .dcqcn import DcqcnRateMachine
+
+
+class TokenBucketPacer:
+    """Per-QP token bucket refilled at the DCQCN machine's rate."""
+
+    def __init__(self, env, machine: DcqcnRateMachine,
+                 burst_bytes: int) -> None:
+        if burst_bytes <= 0:
+            raise ValueError("burst must be positive")
+        self.env = env
+        self.machine = machine
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last_refill = env.now
+
+    def _refill(self) -> None:
+        now = self.env.now
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            earned = elapsed * self.machine.rate_bps / 8e12
+            self._tokens = min(float(self.burst_bytes),
+                               self._tokens + earned)
+            self._last_refill = now
+
+    def pace(self, wire_bytes: int):
+        """Block (via timeouts) until ``wire_bytes`` of credit is
+        available, then spend it.  Yields nothing at line rate."""
+        if not self.machine.throttled:
+            # Unthrottled: the cable's own serialization is the pacer.
+            # Keep the bucket pinned full so the first paced packet
+            # after a cut still gets its burst allowance.
+            self._tokens = float(self.burst_bytes)
+            self._last_refill = self.env.now
+            return
+        self._refill()
+        while self._tokens < wire_bytes:
+            deficit = wire_bytes - self._tokens
+            # Ceiling so the post-sleep refill always covers the
+            # deficit at an unchanged rate (rate may rise meanwhile,
+            # which only ends the wait with credit to spare).
+            wait = int(deficit * 8e12 / self.machine.rate_bps) + 1
+            yield self.env.timeout(wait)
+            if not self.machine.throttled:
+                self._tokens = float(self.burst_bytes)
+                self._last_refill = self.env.now
+                break
+            self._refill()
+        self._tokens -= wire_bytes

@@ -19,9 +19,17 @@ Model
   the table so steady state never floods.
 - **Per-output-port queues with tail-drop.**  Each output port owns a
   bounded FIFO of ``buffer_frames`` frames.  A frame arriving to a full
-  queue is dropped (tail-drop) and counted; RoCE's go-back-N
-  retransmission recovers, at a latency cost — congestion now has the
-  same failure mode as real RoCE deployments without PFC.
+  queue is dropped (tail-drop) and counted, and the port's high-water
+  occupancy is tracked in a ``max_queue_depth`` gauge; RoCE's go-back-N
+  retransmission recovers the loss, at a latency cost.  With no ECN
+  configured that is the failure mode of a real RoCE deployment without
+  PFC or congestion control.
+- **Optional ECN marking.**  With an :class:`~repro.cc.ecn.EcnConfig`
+  (``SwitchConfig.ecn`` or :meth:`Switch.enable_ecn`, normally via
+  ``Cluster.enable_congestion_control``), enqueue runs the RED-style
+  Kmin/Kmax ramp over the *instantaneous* queue depth and sets the CE
+  codepoint on a copy of the frame (queued packets alias retransmit
+  buffers), feeding the DCQCN loop in :mod:`repro.cc`.
 - **Shared egress bandwidth.**  All output ports drain through one
   shared switching-fabric link of ``fabric_bps`` (``None`` models an
   ideal non-blocking fabric).  Each port additionally paces frames at
@@ -32,9 +40,11 @@ Model
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Deque, Dict, List, Optional
 
+from ..cc.ecn import EcnConfig, EcnMarker
+from ..cc.plane import CC_STATS
 from ..net.arp import mac_for_ip
 from ..net.link import Cable
 from ..obs.runtime import registry_for, trace_for
@@ -54,6 +64,9 @@ class SwitchConfig:
     #: Shared switching-fabric bandwidth in bits/s; ``None`` = ideal
     #: non-blocking fabric (no shared constraint).
     fabric_bps: Optional[float] = None
+    #: ECN marking at egress enqueue (the DCQCN congestion signal);
+    #: ``None`` disables marking — no RNG, no code-path change.
+    ecn: Optional[EcnConfig] = None
 
 
 SWITCH_DEFAULT = SwitchConfig()
@@ -90,6 +103,13 @@ class SwitchPort:
         self.blackout_drops = metrics.counter(f"{name}.blackout_drops")
         #: Sampled queue-depth time series (only while observing).
         self.depth_gauge = metrics.gauge(f"{name}.queue_depth")
+        #: High-water mark of the output queue — a plain gauge ``set``,
+        #: maintained unconditionally so drops are diagnosable (was the
+        #: queue ever actually full?) without an observe() session.
+        self.max_depth_gauge = metrics.gauge(f"{name}.max_queue_depth")
+        self._max_depth = 0
+        #: Frames CE-marked at enqueue onto this output queue.
+        self.ce_marks = metrics.counter(f"{name}.ce_marks")
         #: Queue-residency span handles, FIFO with the queue itself.
         self._span_queue: Deque = deque()
 
@@ -112,6 +132,9 @@ class Switch:
         if config.fabric_bps is not None:
             self.fabric = BandwidthLink(env, config.fabric_bps,
                                         name=f"{name}.fabric")
+        #: RED/DCQCN marker shared by all output queues (one seeded RNG
+        #: per switch); ``None`` when the config carries no ecn entry.
+        self.ecn_marker = EcnMarker(config.ecn) if config.ecn else None
         metrics = registry_for(env)
         self.metrics = metrics
         self.trace = trace_for(env)
@@ -156,6 +179,11 @@ class Switch:
 
     def port_for_mac(self, mac: bytes) -> Optional[int]:
         return self._mac_table.get(mac)
+
+    def enable_ecn(self, config: EcnConfig) -> None:
+        """Turn on ECN marking after construction (the cluster-level
+        ``enable_congestion_control`` path for already-built fabrics)."""
+        self.ecn_marker = EcnMarker(config)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -207,10 +235,24 @@ class Switch:
                 self.frames_forwarded.add()
                 targets = [self.ports[out]]
             for target in targets:
-                if not target.queue.try_put(packet):
+                depth = len(target.queue)
+                out_packet = packet
+                if self.ecn_marker is not None and not packet.ecn_ce \
+                        and self.ecn_marker.should_mark(depth):
+                    # Copy-on-mark: queued packets alias sender-side
+                    # retransmit buffers (and, when flooding, each
+                    # other), so the CE bit is never set in place.
+                    out_packet = replace(packet, ecn_ce=True)
+                    target.ce_marks.add()
+                    CC_STATS.ce_marks += 1
+                if not target.queue.try_put(out_packet):
                     target.tail_drops.add()
                     self.frames_dropped.add()
                     continue
+                depth += 1
+                if depth > target._max_depth:
+                    target._max_depth = depth
+                    target.max_depth_gauge.set(depth)
                 if self.trace is not None:
                     target._span_queue.append(self.trace.begin_span(
                         target.name, "queued", psn=packet.bth.psn,

@@ -71,6 +71,19 @@ class Cluster:
                                                                 server)
         return qpns
 
+    def enable_congestion_control(self, config=None) -> None:
+        """Turn on DCQCN end to end: ECN marking on every switch plus
+        CNP generation, rate control, and pacing on every NIC.  Without
+        this call (and with no ``ecn`` switch config) seeded runs are
+        bit-identical to the pre-congestion-control simulator."""
+        from ..cc.plane import CcConfig
+        if config is None:
+            config = CcConfig()
+        for switch in self.switches:
+            switch.enable_ecn(config.ecn)
+        for host in self.hosts:
+            host.nic.enable_congestion_control(config)
+
 
 def _announce_everywhere(hosts: List[HostNode]) -> None:
     """Gratuitous ARP broadcast at link-up: every NIC learns every other

@@ -53,6 +53,7 @@ from .fig09_consistency import (
     failure_rate_experiment,
 )
 from .fig11_shuffle import shuffle_experiment
+from .incast_sweep import incast_sweep_experiment
 from .fig13_hll import hll_cpu_experiment, hll_kernel_experiment
 from .table3_resources import table3_experiment, virtex7_experiment
 from .validation import flow_vs_detailed_experiment, stack_budget_experiment
@@ -104,6 +105,10 @@ def _registry(fast: bool,
             seed=seed,
             offered_per_shard=40_000.0 if fast else 60_000.0,
             window_ps=MS if fast else 2 * MS),
+        "incast-sweep": lambda: incast_sweep_experiment(
+            sender_counts=(2, 8) if fast else (2, 4, 8, 16),
+            seed=seed,
+            messages=40 if fast else 100),
     }
 
 

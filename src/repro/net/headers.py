@@ -86,13 +86,17 @@ class Ipv4Header:
     ttl: int = 64
     identification: int = 0
     dscp: int = 26  # paper uses PFC/converged traffic class; any DSCP works
+    #: ECN codepoint (RFC 3168), the low two bits of the ToS byte.
+    #: 0b00 Not-ECT (the historical default), 0b10 ECT(0), 0b11 CE.
+    ecn: int = 0
 
     SIZE = 20
 
     def to_bytes(self) -> bytes:
         return _ipv4_header_bytes(self.src_ip, self.dst_ip,
                                   self.total_length, self.protocol,
-                                  self.ttl, self.identification, self.dscp)
+                                  self.ttl, self.identification, self.dscp,
+                                  self.ecn)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Ipv4Header":
@@ -110,18 +114,21 @@ class Ipv4Header:
                    protocol=protocol,
                    ttl=ttl,
                    identification=identification,
-                   dscp=dscp_ecn >> 2)
+                   dscp=dscp_ecn >> 2,
+                   ecn=dscp_ecn & 0x3)
 
 
 @lru_cache(maxsize=4096)
 def _ipv4_header_bytes(src_ip: int, dst_ip: int, total_length: int,
                        protocol: int, ttl: int, identification: int,
-                       dscp: int) -> bytes:
+                       dscp: int, ecn: int = 0) -> bytes:
     """Serialized IPv4 header, checksum included.  Memoized: all packets
-    of a flow with the same size share one header byte string."""
+    of a flow with the same size share one header byte string.  The ECN
+    codepoint is part of the key so CE-marked and unmarked packets of
+    one flow resolve to distinct (correct) cached byte strings."""
     header = _IPV4.pack(
         (4 << 4) | 5,                 # version + IHL
-        dscp << 2,
+        (dscp << 2) | ecn,
         total_length,
         identification,
         0x4000,                       # don't fragment

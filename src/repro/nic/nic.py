@@ -39,7 +39,7 @@ from ..roce.opcodes import (
     is_rpc_write,
     is_write,
 )
-from ..roce.packet import RocePacket, make_ack
+from ..roce.packet import RocePacket, make_ack, make_cnp
 from ..roce.packetizer import (
     read_response_packet_count,
     segment_read_response,
@@ -141,10 +141,21 @@ class StromNic:
         #: False while the node hosting this NIC is crashed: every frame
         #: in either direction is dropped until :meth:`power_on`.
         self.powered = True
+        #: Congestion-control plane (DCQCN), installed by
+        #: :meth:`enable_congestion_control`; None = legacy behavior
+        #: (no CNPs, no pacing, bit-identical schedules).
+        self.cc = None
 
         # Per-QP completions waiting for ACKs: qpn -> ordered entries.
         self._rpc_write_target: Dict[int, Optional[StromKernel]] = {}
         self._nak_pending: Dict[int, bool] = {}
+        # qpn -> pending Event while a go-back-N burst is in flight.
+        # Only consulted when the CC plane is on: pacing stretches a
+        # retransmission over hundreds of microseconds, long enough for
+        # concurrently emitted *new* packets to interleave and keep the
+        # responder permanently out of order (hardware instead rewinds
+        # the send pointer, which this gate approximates).
+        self._rtx_busy: Dict[int, Event] = {}
         self._tx_gate: Event = Event(env)
         self._tx_gate.succeed()
         self._fetch_gate: Event = Event(env)
@@ -208,6 +219,20 @@ class StromNic:
                           dest_ip: int) -> None:
         """Install one queue pair (driver/Controller path)."""
         self.qps.create(qpn, dest_qpn, dest_ip)
+
+    def enable_congestion_control(self, config=None) -> None:
+        """Turn on the DCQCN plane for this NIC: CE-marked arrivals
+        generate CNPs, received CNPs throttle the addressed QP, and
+        every outbound data packet passes the per-QP pacer.  Pair with
+        an ``ecn`` entry in the switch config (or use
+        :meth:`repro.cluster.topology.Cluster.enable_congestion_control`
+        to do both ends at once)."""
+        from ..cc.plane import CcConfig, NicCongestionControl
+        if config is None:
+            config = CcConfig()
+        self.cc = NicCongestionControl(
+            self.env, config, self.name, self.config.line_rate_bps,
+            self._send_cnp, self.metrics)
 
     def deploy_kernel(self, rpc_opcode: int, kernel: StromKernel,
                       sequential_dma: bool = True) -> None:
@@ -436,10 +461,25 @@ class StromNic:
                 is_message_tail=tail)
             qp.requester.unacked.append(entry)
             self.payload_bytes_sent.add(len(packet.payload))
+            if self.cc is not None:
+                busy = self._rtx_busy.get(qp.qpn)
+                if busy is not None and not busy.triggered:
+                    # Go-back-N in flight: hold new packets back until
+                    # the rewound window has been resent.
+                    yield busy
+                yield from self.cc.pace(qp.qpn, packet.wire_bytes)
             # II=1 store-and-forward through the TX pipeline (ICRC).
             yield from self.config.streaming_charge(
                 self.env, packet.l3_bytes)
             self._tx_deliver(packet)
+            if self.cc is not None and not qp.in_error \
+                    and self.cc.is_throttled(qp.qpn):
+                # Paced transmission is forward progress: a throttled
+                # message can legally outlast the retransmission
+                # timeout, so push the deadline out per packet sent
+                # (DCQCN deployments likewise keep the QP timer well
+                # above the pacer's inter-packet gaps).
+                self.timer.arm(qp.qpn)
         if self.trace is not None:
             self.trace.end_span(span)
         if not qp.in_error:
@@ -478,6 +518,8 @@ class StromNic:
         self._tx_gate = gate
         yield prev_gate
         qp.requester.unacked.append(entry)
+        if self.cc is not None:
+            yield from self.cc.pace(qp.qpn, packet.wire_bytes)
         yield from self.config.streaming_charge(self.env, packet.l3_bytes)
         self._tx_deliver(packet)
         if not qp.in_error:
@@ -533,6 +575,16 @@ class StromNic:
             return
         qp = self.qps.get(packet.bth.dest_qp)
         opcode = packet.bth.opcode
+        if opcode == Opcode.CNP:
+            # Congestion notification: throttle the addressed QP and
+            # stop — a CNP carries no PSN meaning and is never ACKed.
+            if self.cc is not None:
+                self.cc.on_cnp(packet.bth.dest_qp)
+            else:
+                self.packets_dropped.add()
+            return
+        if packet.ecn_ce and self.cc is not None:
+            self.cc.note_ce(qp)
         if opcode == Opcode.ACKNOWLEDGE:
             self._handle_ack(qp, packet)
         elif is_read_response(opcode):
@@ -631,6 +683,8 @@ class StromNic:
                       psn=psn_add(packet.bth.psn, i))
             response = RocePacket(src_ip=self.ip, dst_ip=qp.dest_ip,
                                   bth=bth, aeth=aeth, payload=chunk)
+            if self.cc is not None:
+                yield from self.cc.pace(qp.qpn, response.wire_bytes)
             yield from self.config.streaming_charge(
                 self.env, response.l3_bytes)
             self._tx_deliver(response)
@@ -701,6 +755,16 @@ class StromNic:
             if self.trace is not None:
                 self.trace.record(self.name, "ack", psn=psn, msn=msn)
         self._tx_deliver(ack)
+
+    def _send_cnp(self, qp) -> None:
+        """Emit one CNP toward ``qp``'s peer (the congested sender).
+        Unpaced and ahead of any queued data: congestion feedback must
+        not itself be throttled by the congestion it reports."""
+        cnp = make_cnp(src_ip=self.ip, dst_ip=qp.dest_ip,
+                       dest_qp=qp.dest_qpn)
+        if self.trace is not None:
+            self.trace.record(self.name, "cnp", qpn=qp.qpn)
+        self._tx_deliver(cnp)
 
     # ----------------------- requester side ---------------------------
     def _handle_ack(self, qp, packet: RocePacket) -> None:
@@ -795,6 +859,24 @@ class StromNic:
         return self._retransmit_from(qp, qp.requester.unacked[0].first_psn)
 
     def _retransmit_from(self, qp, from_psn: int):
+        busy = None
+        if self.cc is not None:
+            # Serialize bursts: a second NAK/timeout while one paced
+            # go-back-N is still draining must wait, not interleave.
+            while True:
+                busy = self._rtx_busy.get(qp.qpn)
+                if busy is None or busy.triggered:
+                    break
+                yield busy
+            busy = Event(self.env)
+            self._rtx_busy[qp.qpn] = busy
+        try:
+            yield from self._retransmit_entries(qp, from_psn)
+        finally:
+            if busy is not None:
+                busy.succeed()
+
+    def _retransmit_entries(self, qp, from_psn: int):
         entries = [e for e in qp.requester.unacked
                    if psn_distance(from_psn, e.first_psn) < (1 << 23)
                    or e.first_psn == from_psn]
@@ -815,9 +897,16 @@ class StromNic:
             if self.trace is not None:
                 self.trace.record(self.name, "retransmit",
                                   psn=entry.first_psn, kind=entry.kind)
+            if self.cc is not None:
+                yield from self.cc.pace(qp.qpn, entry.packet.wire_bytes)
             yield from self.config.streaming_charge(
                 self.env, entry.packet.l3_bytes)
             self._tx_deliver(entry.packet)
+            if self.cc is not None and not qp.in_error \
+                    and self.cc.is_throttled(qp.qpn):
+                # As in _send_message: paced retransmission in flight
+                # must not itself trip another timeout.
+                self.timer.arm(qp.qpn)
         self.timer.arm(qp.qpn)
 
     # ------------------------------------------------------------------

@@ -42,6 +42,12 @@ class Opcode(IntEnum):
     RPC_WRITE_LAST = 0b11011      # 0x1B
     RPC_WRITE_ONLY = 0b11100      # 0x1C
 
+    # --- congestion management -----------------------------------------
+    #: RoCE v2 Congestion Notification Packet (IB Annex A17 assigns
+    #: op-code 0b10000001).  BTH only — no RETH/AETH/payload, carries no
+    #: PSN meaning, never acknowledged, exempt from the PSN window.
+    CNP = 0x81
+
 
 #: The five new op-codes StRoM adds (Section 3.1: "only two new IB verbs
 #: and five new op-codes").

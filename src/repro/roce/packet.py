@@ -27,15 +27,19 @@ from .opcodes import Opcode, carries_aeth, carries_reth
 
 
 @lru_cache(maxsize=4096)
-def _ip_udp_prefix(src_ip: int, dst_ip: int, transport_len: int) -> bytes:
+def _ip_udp_prefix(src_ip: int, dst_ip: int, transport_len: int,
+                   ecn: int = 0) -> bytes:
     """Serialized IP+UDP encapsulation prefix.  Immutable for a given
-    (flow, packet size), so every MIDDLE packet of a large message — and
-    every same-sized message of a flow — reuses one byte string."""
+    (flow, packet size, ECN codepoint), so every MIDDLE packet of a
+    large message — and every same-sized message of a flow — reuses one
+    byte string.  The ECN codepoint is part of the key: a CE-marked
+    packet and its unmarked twin must never share a cache entry."""
     udp = UdpHeader(src_port=config.ROCE_UDP_PORT,
                     dst_port=config.ROCE_UDP_PORT,
                     length=UdpHeader.SIZE + transport_len)
     ip = Ipv4Header(src_ip=src_ip, dst_ip=dst_ip,
-                    total_length=Ipv4Header.SIZE + udp.length)
+                    total_length=Ipv4Header.SIZE + udp.length,
+                    ecn=ecn)
     return ip.to_bytes() + udp.to_bytes()
 
 
@@ -52,6 +56,10 @@ class RocePacket:
     payload: Union[bytes, PayloadRef] = b""
     #: Set by the link model when injected corruption breaks the ICRC.
     corrupted: bool = False
+    #: Congestion Experienced: set (on a *copy* of the packet — switch
+    #: queues alias retransmit buffers) by ECN marking at switch egress;
+    #: travels in the two ECN bits of the IPv4 ToS byte.
+    ecn_ce: bool = False
 
     def __post_init__(self) -> None:
         if carries_reth(self.bth.opcode) and self.reth is None:
@@ -102,8 +110,12 @@ class RocePacket:
         if self.corrupted:
             crc ^= 0xFFFFFFFF
         transport += crc.to_bytes(4, "big")
+        # The ICRC covers only the transport section (IB spec: the IP
+        # header's mutable fields are masked), so CE marking in flight
+        # changes exactly the ToS byte and the IPv4 header checksum.
+        ecn = 0b11 if self.ecn_ce else 0
         return _ip_udp_prefix(self.src_ip, self.dst_ip,
-                              len(transport)) + transport
+                              len(transport), ecn) + transport
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "RocePacket":
@@ -135,7 +147,8 @@ class RocePacket:
             aeth = Aeth.from_bytes(body[cursor:])
             cursor += Aeth.SIZE
         return cls(src_ip=ip.src_ip, dst_ip=ip.dst_ip, bth=bth,
-                   reth=reth, aeth=aeth, payload=body[cursor:])
+                   reth=reth, aeth=aeth, payload=body[cursor:],
+                   ecn_ce=ip.ecn == 0b11)
 
     def __repr__(self) -> str:
         return (f"<RocePacket {self.bth.opcode.name} qp={self.bth.dest_qp} "
@@ -149,4 +162,17 @@ def make_ack(src_ip: int, dst_ip: int, dest_qp: int, psn: int,
         src_ip=src_ip, dst_ip=dst_ip,
         bth=Bth(opcode=Opcode.ACKNOWLEDGE, dest_qp=dest_qp, psn=psn),
         aeth=Aeth(syndrome=syndrome, msn=msn),
+    )
+
+
+def make_cnp(src_ip: int, dst_ip: int, dest_qp: int) -> RocePacket:
+    """Convenience constructor for Congestion Notification Packets.
+
+    BTH only, PSN 0: a CNP identifies the congested flow by the
+    destination QP alone and sits entirely outside the PSN window —
+    receiving one must never disturb requester or responder PSN state.
+    """
+    return RocePacket(
+        src_ip=src_ip, dst_ip=dst_ip,
+        bth=Bth(opcode=Opcode.CNP, dest_qp=dest_qp, psn=0),
     )

@@ -1,0 +1,293 @@
+"""Congestion-control plane units: ECN marker ramp, ECN bits on the
+wire (header cache keying, CE wire-identity), the CNP opcode, the DCQCN
+rate machine, and the token-bucket pacer."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cc import (
+    CC_STATS,
+    CcConfig,
+    DcqcnConfig,
+    DcqcnRateMachine,
+    ECN_CE,
+    ECN_NOT_ECT,
+    EcnConfig,
+    EcnMarker,
+    NicCongestionControl,
+    TokenBucketPacer,
+)
+from repro.net.headers import Ipv4Header
+from repro.obs import registry_for
+from repro.roce import RocePacket, make_ack, make_cnp
+from repro.roce.headers import Bth, Reth
+from repro.roce.opcodes import (
+    Opcode,
+    carries_aeth,
+    carries_reth,
+    expects_ack,
+)
+from repro.sim import MS, US, Simulator
+
+
+# ---------------------------------------------------------------------------
+# ECN marker
+# ---------------------------------------------------------------------------
+
+def test_ecn_config_validation():
+    with pytest.raises(ValueError):
+        EcnConfig(kmin_frames=-1)
+    with pytest.raises(ValueError):
+        EcnConfig(kmin_frames=10, kmax_frames=10)
+    with pytest.raises(ValueError):
+        EcnConfig(pmax=0.0)
+    with pytest.raises(ValueError):
+        EcnConfig(pmax=1.5)
+
+
+def test_ecn_mark_probability_ramp():
+    marker = EcnMarker(EcnConfig(kmin_frames=10, kmax_frames=30,
+                                 pmax=0.5))
+    assert marker.mark_probability(0) == 0.0
+    assert marker.mark_probability(10) == 0.0
+    assert marker.mark_probability(20) == pytest.approx(0.25)
+    assert marker.mark_probability(30) == 1.0
+    assert marker.mark_probability(64) == 1.0
+
+
+def test_ecn_should_mark_deterministic_and_boundary():
+    config = EcnConfig(kmin_frames=4, kmax_frames=8, pmax=1.0, seed=42)
+    a = [EcnMarker(config).should_mark(6) for _ in range(50)]
+    b = [EcnMarker(config).should_mark(6) for _ in range(50)]
+    assert a == b  # seeded RNG, not global randomness
+    marker = EcnMarker(config)
+    assert not marker.should_mark(4)   # at kmin: never
+    assert marker.should_mark(8)       # at kmax: always, and no RNG draw
+    state = marker._rng.getstate()
+    assert marker.should_mark(100)
+    assert not marker.should_mark(0)
+    assert marker._rng.getstate() == state  # off-ramp draws are free
+
+
+# ---------------------------------------------------------------------------
+# ECN bits on the wire
+# ---------------------------------------------------------------------------
+
+def test_ipv4_header_ecn_round_trip():
+    header = Ipv4Header(src_ip=0x0A000001, dst_ip=0x0A000002,
+                        total_length=40, ecn=ECN_CE)
+    parsed = Ipv4Header.from_bytes(header.to_bytes())
+    assert parsed.ecn == ECN_CE
+    assert parsed.dscp == header.dscp
+
+
+def test_ipv4_header_cache_keys_on_ecn():
+    """Regression: the memoized header prefix must not serve stale bytes
+    when CE-marked and unmarked packets coexist on one flow."""
+    plain = Ipv4Header(src_ip=1, dst_ip=2, total_length=40)
+    marked = replace(plain, ecn=ECN_CE)
+    plain_bytes, marked_bytes = plain.to_bytes(), marked.to_bytes()
+    assert plain_bytes != marked_bytes
+    assert marked_bytes[1] & 0x3 == ECN_CE
+    assert plain_bytes[1] & 0x3 == ECN_NOT_ECT
+    # and the unmarked header is byte-identical to the pre-ECN layout
+    assert plain.to_bytes() == plain_bytes
+
+
+@pytest.mark.parametrize("packet", [
+    make_ack(src_ip=1, dst_ip=2, dest_qp=3, psn=9, msn=1),
+    RocePacket(src_ip=1, dst_ip=2,
+               bth=Bth(opcode=Opcode.WRITE_ONLY, dest_qp=3, psn=5),
+               reth=Reth(vaddr=0x1000, rkey=0, dma_length=64),
+               payload=bytes(range(64))),
+    RocePacket(src_ip=1, dst_ip=2,
+               bth=Bth(opcode=Opcode.WRITE_MIDDLE, dest_qp=3, psn=6),
+               payload=b"\xAA" * 256),
+])
+def test_ce_mark_wire_identity(packet):
+    """CE marking changes exactly the ToS byte and the (recomputed)
+    IPv4 header checksum — the ICRC covers only the transport section,
+    so everything from the UDP header on is untouched."""
+    base = packet.to_bytes()
+    marked = replace(packet, ecn_ce=True).to_bytes()
+    assert len(base) == len(marked)
+    differing = [i for i in range(len(base)) if base[i] != marked[i]]
+    assert 1 in differing                    # the ToS byte
+    assert set(differing) <= {1, 10, 11}     # ... + IPv4 checksum only
+    assert base[Ipv4Header.SIZE:] == marked[Ipv4Header.SIZE:]
+    round_trip = RocePacket.from_bytes(marked)
+    assert round_trip.ecn_ce
+    assert not RocePacket.from_bytes(base).ecn_ce
+
+
+def test_cnp_round_trip_and_classification():
+    cnp = make_cnp(src_ip=1, dst_ip=2, dest_qp=7)
+    parsed = RocePacket.from_bytes(cnp.to_bytes())
+    assert parsed.bth.opcode == Opcode.CNP
+    assert parsed.bth.dest_qp == 7
+    assert parsed.reth is None and parsed.aeth is None
+    assert not carries_reth(Opcode.CNP)
+    assert not carries_aeth(Opcode.CNP)
+    assert not expects_ack(Opcode.CNP)
+
+
+# ---------------------------------------------------------------------------
+# DCQCN rate machine
+# ---------------------------------------------------------------------------
+
+def test_dcqcn_config_validation():
+    with pytest.raises(ValueError):
+        DcqcnConfig(g=0.0)
+    with pytest.raises(ValueError):
+        DcqcnConfig(alpha_timer=0)
+    with pytest.raises(ValueError):
+        DcqcnConfig(min_rate_bps=0.0)
+    with pytest.raises(ValueError):
+        DcqcnConfig(cnp_interval=0)
+
+
+def test_dcqcn_cut_formula():
+    env = Simulator()
+    config = DcqcnConfig(g=0.25)
+    machine = DcqcnRateMachine(env, config, 10e9, "m")
+    machine.on_cnp()
+    # first CNP: alpha = g, Rc = line * (1 - g/2), Rt = line
+    assert machine.alpha == pytest.approx(0.25)
+    assert machine.rate_bps == pytest.approx(10e9 * (1 - 0.125))
+    assert machine.target_bps == pytest.approx(10e9)
+    assert machine.throttled
+
+
+def test_dcqcn_rate_floor():
+    env = Simulator()
+    machine = DcqcnRateMachine(env, DcqcnConfig(), 10e9, "m")
+    for _ in range(200):
+        machine.on_cnp()
+    assert machine.rate_bps == pytest.approx(
+        machine.config.min_rate_bps)
+
+
+def test_dcqcn_recovers_to_line_rate_and_retires():
+    env = Simulator()
+    machine = DcqcnRateMachine(env, DcqcnConfig(), 10e9, "m",
+                               registry=registry_for(env))
+    for _ in range(10):
+        machine.on_cnp()
+    assert machine.throttled and machine._active
+    env.run(until=20 * MS)
+    assert machine.rate_bps == 10e9
+    assert not machine.throttled
+    assert not machine._active          # timers retired: no event load
+    assert machine.alpha < 1e-3
+    assert int(machine.rate_cuts) == 10
+
+
+def test_dcqcn_fast_recovery_halves_gap():
+    env = Simulator()
+    config = DcqcnConfig()
+    machine = DcqcnRateMachine(env, config, 10e9, "m")
+    machine.on_cnp()
+    rate_after_cut = machine.rate_bps
+    target = machine.target_bps
+    env.run(until=config.increase_timer + 1)
+    assert machine.rate_bps == pytest.approx(
+        (rate_after_cut + target) / 2.0)
+
+
+# ---------------------------------------------------------------------------
+# Token-bucket pacer
+# ---------------------------------------------------------------------------
+
+def _drain(env, generator):
+    """Run one pacing generator to completion; return elapsed ps."""
+    start = env.now
+    done = {}
+
+    def proc():
+        yield from generator
+        done["at"] = env.now
+    env.process(proc())
+    env.run()
+    return done["at"] - start
+
+
+def test_pacer_unthrottled_yields_nothing():
+    env = Simulator()
+    machine = DcqcnRateMachine(env, DcqcnConfig(), 10e9, "m")
+    pacer = TokenBucketPacer(env, machine, burst_bytes=3076)
+    assert list(pacer.pace(100_000)) == []   # zero scheduler events
+
+
+def test_pacer_enforces_rate_when_throttled():
+    env = Simulator()
+    machine = DcqcnRateMachine(env, DcqcnConfig(), 10e9, "m")
+    machine.on_cnp()
+    machine.rate_bps = 1e9               # pin: 1 Gb/s
+    machine._active = False              # no recovery during the test
+    pacer = TokenBucketPacer(env, machine, burst_bytes=1538)
+    frames = 10
+    elapsed = _drain(env, _chain(pacer, [1538] * frames))
+    # burst covers the first frame; the rest pace at 1 Gb/s
+    expected = (frames - 1) * 1538 * 8e12 / 1e9
+    assert elapsed == pytest.approx(expected, rel=0.01)
+
+
+def _chain(pacer, sizes):
+    for size in sizes:
+        yield from pacer.pace(size)
+
+
+def test_pacer_validation():
+    env = Simulator()
+    machine = DcqcnRateMachine(env, DcqcnConfig(), 10e9, "m")
+    with pytest.raises(ValueError):
+        TokenBucketPacer(env, machine, burst_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# Per-NIC plane
+# ---------------------------------------------------------------------------
+
+def test_cc_config_validation():
+    with pytest.raises(ValueError):
+        CcConfig(burst_bytes=10)
+
+
+def test_plane_cnp_rate_limiting():
+    env = Simulator()
+    sent = []
+
+    class FakeQp:
+        qpn = 1
+        dest_qpn = 9
+        dest_ip = 0x0A000002
+    plane = NicCongestionControl(env, CcConfig(), "nic", 10e9,
+                                 sent.append, registry_for(env))
+    qp = FakeQp()
+    before = CC_STATS.cnps_sent
+    plane.note_ce(qp)
+    plane.note_ce(qp)                    # inside the interval: suppressed
+    assert len(sent) == 1
+    env.run(until=plane.config.dcqcn.cnp_interval + 1)
+    plane.note_ce(qp)                    # next interval: sent again
+    assert len(sent) == 2
+    assert CC_STATS.cnps_sent - before == 2
+    assert int(plane.ce_rx) == 3 and int(plane.cnps_tx) == 2
+
+
+def test_plane_on_cnp_throttles_only_the_addressed_qp():
+    env = Simulator()
+    plane = NicCongestionControl(env, CcConfig(), "nic", 10e9,
+                                 lambda qp: None, registry_for(env))
+    plane.on_cnp(3)
+    assert plane.is_throttled(3)
+    assert not plane.is_throttled(4)
+    assert plane.machine_for(3).rate_bps < 10e9
+
+
+def test_plane_pace_unthrottled_no_events():
+    env = Simulator()
+    plane = NicCongestionControl(env, CcConfig(), "nic", 10e9,
+                                 lambda qp: None)
+    assert list(plane.pace(1, 10_000)) == []
