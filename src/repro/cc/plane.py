@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..check import checker_for
 from ..config import MTU_BYTES, wire_bytes_for_frame
 from .dcqcn import DcqcnConfig, DcqcnRateMachine
 from .ecn import EcnConfig
@@ -92,6 +93,7 @@ class NicCongestionControl:
         self.line_rate_bps = line_rate_bps
         self._send_cnp = send_cnp
         self.metrics = registry
+        self.check = checker_for(env)
         self._machines = {}
         self._pacers = {}
         #: qpn -> time the last CNP was generated for that QP.
@@ -170,6 +172,12 @@ class NicCongestionControl:
             if pacer is not None:
                 pacer._tokens = float(pacer.burst_bytes)
                 pacer._last_refill = self.env.now
+            if self.check is not None:
+                self.check.on_pacer_idle(self.name, qpn)
             return
         CC_STATS.paced_packets += 1
-        yield from self._pacer_for(qpn).pace(wire_bytes)
+        pacer = self._pacer_for(qpn)
+        yield from pacer.pace(wire_bytes)
+        if self.check is not None:
+            self.check.on_paced(self.name, qpn, machine, pacer,
+                                wire_bytes)

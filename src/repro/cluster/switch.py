@@ -45,6 +45,7 @@ from typing import Deque, Dict, List, Optional
 
 from ..cc.ecn import EcnConfig, EcnMarker
 from ..cc.plane import CC_STATS
+from ..check import checker_for
 from ..net.arp import mac_for_ip
 from ..net.link import Cable
 from ..obs.runtime import registry_for, trace_for
@@ -138,6 +139,9 @@ class Switch:
         metrics = registry_for(env)
         self.metrics = metrics
         self.trace = trace_for(env)
+        self.check = checker_for(env)
+        if self.check is not None:
+            self.check.register_switch(self)
         self.frames_forwarded = metrics.counter(f"{name}.forwarded")
         self.frames_flooded = metrics.counter(f"{name}.flooded")
         self.frames_filtered = metrics.counter(f"{name}.filtered")
@@ -248,7 +252,11 @@ class Switch:
                 if not target.queue.try_put(out_packet):
                     target.tail_drops.add()
                     self.frames_dropped.add()
+                    if self.check is not None:
+                        self.check.on_switch_drop(self, target, out_packet)
                     continue
+                if self.check is not None:
+                    self.check.on_switch_enqueue(self, target, out_packet)
                 depth += 1
                 if depth > target._max_depth:
                     target._max_depth = depth
@@ -269,6 +277,8 @@ class Switch:
         rate = port.cable.bits_per_second
         while True:
             packet = yield port.queue.get()
+            if self.check is not None:
+                self.check.on_switch_dequeue(self, port, packet)
             if self.trace is not None and port._span_queue:
                 self.trace.end_span(port._span_queue.popleft())
             if self.metrics.sampling_enabled:

@@ -161,6 +161,13 @@ def print_metrics_report(path: str, stream=None) -> None:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "conformance":
+        # The conformance harness owns its own flags (--runs,
+        # --first-run, ...) which the experiment parser doesn't know.
+        from ..check.harness import conformance_main
+        return conformance_main(argv[1:])
     parser = argparse.ArgumentParser(
         description="Reproduce the StRoM evaluation tables and figures")
     parser.add_argument("experiments", nargs="*",

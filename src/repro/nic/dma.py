@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from ..check import checker_for
 from ..config import NicConfig
 from ..core.payload import PayloadRef
 from ..memory import PhysicalMemory
@@ -135,6 +136,7 @@ class DmaEngine:
         metrics = registry_for(env)
         self.metrics = metrics
         self.trace = trace_for(env)
+        self.check = checker_for(env)
         self.reads = metrics.counter(f"{name}.reads")
         self.writes = metrics.counter(f"{name}.writes")
         self.bytes_read = metrics.counter(f"{name}.bytes_read")
@@ -339,6 +341,8 @@ class DmaEngine:
     def _commit_write(self, vaddr: int, pieces, data, length: int,
                       span) -> None:
         """Land ``data`` in the destination pages (burst completion)."""
+        if self.check is not None:
+            self.check.on_dma_commit(self, vaddr, pieces, length)
         memory = self.memory
         if isinstance(data, PayloadRef):
             self.payload_ref_bytes.add(length)

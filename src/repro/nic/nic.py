@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..check import checker_for
 from ..config import NicConfig
 from ..core.kernel import MemCmd, RoceMeta, StromKernel
 from ..core.payload import as_bytes
@@ -181,6 +182,14 @@ class StromNic:
         #: Optional flight recorder (see repro.sim.trace.EventTrace);
         #: populated while an obs session is active, else None.
         self.trace = trace_for(env)
+        #: Optional invariant monitors (see repro.check); None unless
+        #: installed — every hook below guards on that.
+        self.check = checker_for(env)
+        if self.check is not None:
+            self.check.register_timer_guard(
+                self.timer.name,
+                lambda qpn: qpn in self.qps
+                and self.qps.get(qpn).in_error)
 
         self.packets_sent = metrics.counter(f"{name}.pkts_tx")
         self.packets_received = metrics.counter(f"{name}.pkts_rx")
@@ -299,6 +308,8 @@ class StromNic:
                     and not context.completion.triggered:
                 context.completion.succeed(error)
             self.read_credits.release()
+        if self.check is not None:
+            self.check.on_qp_error(self, qpn, reason)
 
     # ------------------------------------------------------------------
     # Host command entry point (called by the MMIO path)
@@ -471,7 +482,7 @@ class StromNic:
             # II=1 store-and-forward through the TX pipeline (ICRC).
             yield from self.config.streaming_charge(
                 self.env, packet.l3_bytes)
-            self._tx_deliver(packet)
+            self._tx_deliver(packet, qp)
             if self.cc is not None and not qp.in_error \
                     and self.cc.is_throttled(qp.qpn):
                 # Paced transmission is forward progress: a throttled
@@ -521,16 +532,21 @@ class StromNic:
         if self.cc is not None:
             yield from self.cc.pace(qp.qpn, packet.wire_bytes)
         yield from self.config.streaming_charge(self.env, packet.l3_bytes)
-        self._tx_deliver(packet)
+        self._tx_deliver(packet, qp)
         if not qp.in_error:
             self.timer.arm(qp.qpn)
         gate.succeed()
 
-    def _tx_deliver(self, packet: RocePacket) -> None:
+    def _tx_deliver(self, packet: RocePacket, qp=None) -> None:
         """Hand the frame to the cable.  The fixed TX pipeline latency
         is folded into the wire reservation's floor (``ready``), so
         pipeline + serialization + propagation + the peer's RX parse
         cost a single scheduler event on the fault-free path."""
+        if self.check is not None:
+            # Before the powered check: a crashed NIC drops the frame,
+            # but its PSN was already consumed from the QP's sequence —
+            # the monitors track allocation, not delivery.
+            self.check.on_tx(self, packet, qp)
         if not self.powered:
             self.crash_drops.add()
             return
@@ -574,6 +590,8 @@ class StromNic:
             self.packets_dropped.add()
             return
         qp = self.qps.get(packet.bth.dest_qp)
+        if self.check is not None:
+            self.check.on_rx(self, qp, packet)
         opcode = packet.bth.opcode
         if opcode == Opcode.CNP:
             # Congestion notification: throttle the addressed QP and
@@ -901,13 +919,17 @@ class StromNic:
                 yield from self.cc.pace(qp.qpn, entry.packet.wire_bytes)
             yield from self.config.streaming_charge(
                 self.env, entry.packet.l3_bytes)
-            self._tx_deliver(entry.packet)
+            self._tx_deliver(entry.packet, qp)
             if self.cc is not None and not qp.in_error \
                     and self.cc.is_throttled(qp.qpn):
                 # As in _send_message: paced retransmission in flight
                 # must not itself trip another timeout.
                 self.timer.arm(qp.qpn)
-        self.timer.arm(qp.qpn)
+        if not qp.in_error:
+            # A paced burst can outlive the retry budget: the timer may
+            # have fired mid-burst and moved the QP to the error state,
+            # and re-arming here would resurrect a dead QP's timer.
+            self.timer.arm(qp.qpn)
 
     # ------------------------------------------------------------------
     # Kernel stream adapters (Figure 4 wiring)

@@ -77,6 +77,11 @@ class RetransmissionTimer:
         self._attempts: Dict[int, int] = {}
         #: The pending countdown process per QP (cancelled on re-arm).
         self._procs: Dict[int, Process] = {}
+        # Imported here, not at module scope: repro.check reaches back
+        # into repro.roce for PSN arithmetic, and this module is pulled
+        # in by the roce package __init__.
+        from ..check import checker_for
+        self.check = checker_for(env)
         metrics = registry_for(env)
         self.expirations = metrics.counter(f"{name}.expirations")
         #: Episodes where expirations happened but progress resumed.
@@ -108,6 +113,8 @@ class RetransmissionTimer:
     # ------------------------------------------------------------------
     def arm(self, qpn: int) -> None:
         """(Re)start the timer for ``qpn``."""
+        if self.check is not None:
+            self.check.on_timer_arm(self, qpn)
         self._cancel(qpn)
         version = self._versions.get(qpn, 0) + 1
         self._versions[qpn] = version

@@ -205,3 +205,73 @@ def test_hll_estimate_property_random_sets(seed):
     hll = HyperLogLog(precision=14)
     hll.add_array(values)
     assert abs(hll.cardinality() - truth) / truth < 5 * hll.standard_error
+
+
+# ---------------------------------------------------------------------------
+# Edge cases: empty input, single element, cross-implementation CRC32
+# ---------------------------------------------------------------------------
+
+def test_crc64_single_byte_inputs():
+    # Every single-byte input hashes, and no two collide.
+    checksums = {crc64(bytes([b])) for b in range(256)}
+    assert len(checksums) == 256
+    # Init-0 CRC: a zero byte folds to 0 (like the empty string), but
+    # every non-zero byte must not.
+    assert crc64(b"\x00") == 0
+    assert all(crc64(bytes([b])) != 0 for b in range(1, 256))
+
+
+def test_crc64_incremental_edge_chunks():
+    assert crc64_incremental([]) == crc64(b"")
+    assert crc64_incremental([b""]) == crc64(b"")
+    assert crc64_incremental([b"", b"abc", b""]) == crc64(b"abc")
+    assert crc64_incremental([b"x"]) == crc64(b"x")
+
+
+def test_hashing_empty_and_single_inputs():
+    assert fnv1a64(b"") == 0xCBF29CE484222325  # FNV-1a offset basis
+    assert fnv1a64(b"\x00") != fnv1a64(b"")
+    assert murmur64(0) == 0  # finalizer fixes zero
+    assert murmur64(1) != 0
+
+
+def test_hll_empty_and_single_element():
+    hll = HyperLogLog(precision=12)
+    assert hll.cardinality() == 0.0
+    hll.add(murmur64(12345))
+    assert 0.5 < hll.cardinality() < 1.5
+    empty = HyperLogLog(precision=12)
+    empty.merge(hll)  # merging into empty == copy
+    assert np.array_equal(empty.registers, hll.registers)
+
+
+def _crc32_bitwise(data: bytes) -> int:
+    """Independent reflected CRC-32 (IEEE 802.3): poly 0xEDB88320,
+    init/final-xor 0xFFFFFFFF — no table, no zlib."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ (0xEDB88320 if crc & 1 else 0)
+    return crc ^ 0xFFFFFFFF
+
+
+def test_icrc32_cross_implementation_agreement():
+    import zlib
+
+    from repro.roce.headers import icrc32
+
+    # Known vector plus edge inputs: all three implementations agree.
+    assert _crc32_bitwise(b"123456789") == 0xCBF43926
+    for data in (b"", b"\x00", b"\xff" * 64, b"123456789",
+                 bytes(range(256))):
+        assert icrc32(data) == zlib.crc32(data) & 0xFFFFFFFF
+        assert icrc32(data) == _crc32_bitwise(data)
+
+
+@settings(max_examples=40)
+@given(data=st.binary(min_size=0, max_size=128))
+def test_icrc32_matches_bitwise_reference(data):
+    from repro.roce.headers import icrc32
+
+    assert icrc32(data) == _crc32_bitwise(data)

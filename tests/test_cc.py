@@ -12,12 +12,14 @@ from repro.cc import (
     DcqcnConfig,
     DcqcnRateMachine,
     ECN_CE,
+    ECN_ECT0,
     ECN_NOT_ECT,
     EcnConfig,
     EcnMarker,
     NicCongestionControl,
     TokenBucketPacer,
 )
+from repro.cc.ecn import ECN_ECT1
 from repro.net.headers import Ipv4Header
 from repro.obs import registry_for
 from repro.roce import RocePacket, make_ack, make_cnp
@@ -80,6 +82,21 @@ def test_ipv4_header_ecn_round_trip():
     parsed = Ipv4Header.from_bytes(header.to_bytes())
     assert parsed.ecn == ECN_CE
     assert parsed.dscp == header.dscp
+
+
+@pytest.mark.parametrize("codepoint", [ECN_NOT_ECT, ECN_ECT1,
+                                       ECN_ECT0, ECN_CE])
+def test_ipv4_header_all_ecn_codepoints_round_trip(codepoint):
+    """All four RFC 3168 codepoints survive serialize -> parse, land in
+    the two low ToS bits, and keep the checksum self-consistent."""
+    header = Ipv4Header(src_ip=0x0A000001, dst_ip=0x0A000002,
+                        total_length=64, ecn=codepoint)
+    wire = header.to_bytes()
+    assert wire[1] & 0x3 == codepoint
+    parsed = Ipv4Header.from_bytes(wire)
+    assert parsed.ecn == codepoint
+    assert parsed.dscp == header.dscp
+    assert parsed.to_bytes() == wire
 
 
 def test_ipv4_header_cache_keys_on_ecn():

@@ -257,6 +257,50 @@ def test_timer_rearm_churn_leaves_no_pending_wakeups():
     assert queued_after <= 15
 
 
+def test_timer_not_rearmed_after_error_mid_burst():
+    """Regression: a go-back-N retransmit burst that is still draining
+    when the QP enters the error state must NOT re-arm the timer at the
+    end of the burst.  Before the fix, the unconditional ``arm()`` at
+    the tail of ``_retransmit_entries`` resurrected the dead QP's timer,
+    which then expired forever against an empty retransmit buffer."""
+    from repro.nic.nic import _UnackedEntry
+    from repro.roce import make_ack
+
+    env = Simulator()
+    fabric = build_fabric(env)
+    nic = fabric.client.nic
+    qp = nic.qps.get(1)
+
+    # Stage a burst of unacked packets; the content is irrelevant to
+    # the timer logic under test, so use frames addressed to a QP the
+    # peer does not have — dropped on arrival, provoking no responses.
+    for psn in range(4):
+        packet = make_ack(src_ip=nic.ip, dst_ip=qp.dest_ip,
+                          dest_qp=99, psn=psn, msn=psn)
+        qp.requester.unacked.append(_UnackedEntry(
+            first_psn=psn, last_psn=psn, kind="write", packet=packet))
+    burst = env.process(nic._retransmit_from(qp, 0))
+
+    def failer():
+        # Fail the QP mid-burst: after at least one retransmission went
+        # out, but (with three more queued) before the burst finishes.
+        while int(nic.retransmitted) < 1:
+            yield env.timeout(1)
+        nic._fail_queue_pair(1, "retry budget exhausted (injected)")
+        assert qp.in_error
+
+    env.process(failer())
+    env.run_until_complete(burst)
+    assert qp.in_error
+    assert int(nic.retransmitted) >= 1
+    # The moment the burst ends, the tail arm must have been suppressed
+    # (a post-drain check would miss the bug: a resurrected timer
+    # expires against the empty retransmit buffer and disarms itself).
+    assert not nic.timer.is_armed(1)
+    env.run()
+    assert int(nic.timer.expirations) == 0
+
+
 # ---------------------------------------------------------------------------
 # Retry exhaustion -> QP error state (the blackholed-link scenario)
 # ---------------------------------------------------------------------------
