@@ -25,7 +25,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..algos.hashing import fnv1a64_int
-from ..core.rpc import RpcOpcode
+from ..core.guard import InvocationBudget, ProtectionDomain
+from ..core.rpc import RpcOpcode, is_rpc_error
 from ..host.node import Fabric, HostNode
 from ..host.tcp_rpc import TcpRpcChannel
 from ..kernels.traversal import (
@@ -157,9 +158,24 @@ class KvServer:
             address = next_ptr
         return hops
 
-    def deploy_traversal_kernel(self) -> TraversalKernel:
+    def protection_domain(self) -> ProtectionDomain:
+        """The regions a GET-serving kernel may read: entries, chain
+        and values (one-sided GETs never DMA-write host memory)."""
+        pd = ProtectionDomain()
+        pd.allow_region(self.entries)
+        pd.allow_region(self.chain)
+        pd.allow_region(self.values)
+        return pd
+
+    def deploy_traversal_kernel(
+            self,
+            protection: Optional[ProtectionDomain] = None,
+            budget: Optional[InvocationBudget] = None,
+            quarantine_threshold: int = 3) -> TraversalKernel:
         kernel = TraversalKernel(self.node.env, self.node.nic.config)
-        self.node.nic.deploy_kernel(RpcOpcode.TRAVERSAL, kernel)
+        self.node.nic.deploy_kernel(
+            RpcOpcode.TRAVERSAL, kernel, protection=protection,
+            budget=budget, quarantine_threshold=quarantine_threshold)
         return kernel
 
 
@@ -168,6 +184,9 @@ class GetResult:
     value: Optional[bytes]
     latency_ps: int
     network_round_trips: int
+    #: RPC error completion found in the response buffer (e.g. the
+    #: target kernel aborted or is quarantined), else None.
+    rpc_error: Optional[int] = None
 
 
 class KvClient:
@@ -229,7 +248,13 @@ class KvClient:
         yield from client.wait_for_data(self._value_buf.vaddr,
                                         min(value_size, 8))
         data = client.space.read(self._value_buf.vaddr, value_size)
-        not_found = int.from_bytes(data[:8], "little") == NOT_FOUND_MARKER
+        head = int.from_bytes(data[:8], "little")
+        if is_rpc_error(head):
+            # The kernel aborted (protection/watchdog/quarantine/bad
+            # params) and wrote an error completion instead of a value.
+            return GetResult(value=None, latency_ps=env.now - start,
+                             network_round_trips=1, rpc_error=head)
+        not_found = head == NOT_FOUND_MARKER
         return GetResult(value=None if not_found else data,
                          latency_ps=env.now - start,
                          network_round_trips=1)

@@ -179,18 +179,32 @@ def _run_kv(env: Simulator, rng: random.Random, run_seed: int,
     from ..faults.schedule import FaultSchedule
     from ..sim.timebase import US
 
+    from ..core.guard import InvocationBudget
+
     num_shards = rng.randrange(1, 4)
     num_clients = rng.randrange(1, 3)
     replicas = rng.choice((1, 2)) if num_shards >= 2 else 1
     use_cc = rng.random() < 0.5
     crash = num_shards >= 2 and replicas == 2 and rng.random() < 0.4
+    # Kernel-fault runs deploy *hardened* kernels (protection domains +
+    # hop budget, aggressive quarantine) and aim hostile traversal RPCs
+    # at shard 0 — a corrupted self-cycling pointer, an out-of-PD wild
+    # pointer and a malformed parameter block — while the regular
+    # workload keeps running.  The hop budget is generous, so legitimate
+    # traffic never aborts and all value models still apply.
+    kernel_faults = rng.random() < 0.35
 
     cluster = build_star(env, num_hosts=num_shards + num_clients,
                          seed=run_seed, name=f"conf{run_seed & 0xFFFF}")
     if use_cc:
         cluster.enable_congestion_control()
     servers = cluster.hosts[:num_shards]
-    service = ShardedKvService(cluster, servers, replicas=replicas)
+    service = ShardedKvService(
+        cluster, servers, replicas=replicas,
+        kernel_protection=kernel_faults,
+        kernel_budget=InvocationBudget(hop_limit=64)
+        if kernel_faults else None,
+        quarantine_threshold=2)
     policy = RetryPolicy() if (crash or rng.random() < 0.3) else None
     clients = [
         ShardedKvClient(cluster, service,
@@ -254,19 +268,88 @@ def _run_kv(env: Simulator, rng: random.Random, run_seed: int,
                     stats["gets"] += 1
         done[0] += 1
 
+    hostile = {"done": 0, "bad": []}
+
+    def attacker():
+        from ..core.rpc import (RPC_ERROR_ABORTED, RPC_ERROR_BAD_PARAMS,
+                                RPC_ERROR_PROTECTION,
+                                RPC_ERROR_QUARANTINED, RPC_ERROR_TIMEOUT,
+                                RpcOpcode, RpcPreamble, pack_params)
+        from ..kernels.traversal import (ELEMENT_BYTES, PredicateOp,
+                                         TraversalParams)
+        shard = service.shards[0]
+        node = clients[0].node
+        resp = node.alloc(64, "conf_atk")
+        # Corrupted pointer: a self-cycling element planted inside the
+        # shard's values region (PD-covered, so the kernel chases it).
+        poison = shard.values.vaddr + shard.values.nbytes - ELEMENT_BYTES
+        element = ((0xBAD).to_bytes(8, "little")
+                   + poison.to_bytes(8, "little"))
+        shard.node.space.write(poison,
+                               element.ljust(ELEMENT_BYTES, b"\x00"))
+        wild = shard.values.vaddr + shard.values.nbytes + (1 << 24)
+
+        def params_for(remote):
+            return TraversalParams(
+                response_vaddr=resp.vaddr, remote_address=remote,
+                value_size=8, key=1, key_mask=1,
+                predicate_op=PredicateOp.EQUAL, value_ptr_position=4,
+                is_relative_position=False, next_element_ptr_position=2,
+                next_element_ptr_valid=True).pack()
+
+        shots = (
+            ("cycle", params_for(poison),
+             (RPC_ERROR_ABORTED, RPC_ERROR_TIMEOUT,
+              RPC_ERROR_QUARANTINED)),
+            ("wild-pointer", params_for(wild),
+             (RPC_ERROR_PROTECTION, RPC_ERROR_QUARANTINED)),
+            ("malformed", pack_params(RpcPreamble(resp.vaddr),
+                                      b"\x00" * 8),
+             (RPC_ERROR_BAD_PARAMS, RPC_ERROR_QUARANTINED)),
+        )
+        connection = yield from clients[0]._lease(0)
+        try:
+            for label, raw, accepted in shots:
+                yield from connection.fabric.client.post_rpc(
+                    connection.fabric.client_qpn, RpcOpcode.TRAVERSAL,
+                    raw)
+                yield from connection.fabric.client.wait_for_data(
+                    resp.vaddr, 8)
+                code = int.from_bytes(node.space.read(resp.vaddr, 8),
+                                      "little")
+                if code not in accepted:
+                    hostile["bad"].append(
+                        f"hostile {label} RPC answered {code:#x} "
+                        f"instead of an abort error")
+        finally:
+            clients[0]._release(0, connection)
+        hostile["done"] = 1
+
     workers = []
     for i, client in enumerate(clients):
         wrng = random.Random(run_seed ^ (0x51ED * (i + 1)))
         workers.append(env.process(
             worker(client, wrng, ops=wrng.randrange(8, 21))))
+    if kernel_faults:
+        env.process(attacker())
 
     env.run(until=_RUN_LIMIT)
     if done[0] != len(workers):
         raise ConformanceError(
             f"only {done[0]}/{len(workers)} client workers finished "
             f"within the run limit", run_seed, replay)
+    if kernel_faults and not hostile["done"]:
+        raise ConformanceError(
+            "the hostile-RPC driver never finished (kernel abort path "
+            "wedged)", run_seed, replay)
 
-    failures: List[str] = []
+    failures: List[str] = list(hostile["bad"])
+    kernel_aborts = sum(k.guard.aborts for k in service.kernels
+                        if k.guard is not None)
+    if kernel_faults and kernel_aborts < 2:
+        failures.append(
+            f"hostile RPCs produced only {kernel_aborts} kernel aborts "
+            f"(cycle + wild pointer must both abort)")
     # 1. Value integrity (always): a GET returns None or the key's
     #    unique write-once value — never a torn or foreign value.
     for op in gets:
@@ -309,7 +392,14 @@ def _run_kv(env: Simulator, rng: random.Random, run_seed: int,
             "puts": stats["puts"], "gets": stats["gets"],
             "unavailable": stats["unavailable"],
             "shards": num_shards, "clients": num_clients,
-            "replicas": replicas, "cc": int(use_cc), "crash": int(crash)}
+            "replicas": replicas, "cc": int(use_cc), "crash": int(crash),
+            "kernel_faults": int(kernel_faults),
+            "kernel_aborts": kernel_aborts,
+            "quarantined": sum(1 for k in service.kernels
+                               if k.guard is not None
+                               and k.guard.quarantined),
+            "strom_fallbacks": sum(int(c.strom_fallbacks)
+                                   for c in clients)}
 
 
 # ---------------------------------------------------------------------------

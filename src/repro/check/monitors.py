@@ -47,6 +47,15 @@ Invariant catalog (the hook that enforces each):
 ``payload-aliasing``        A stable send-buffer payload diverged from
                             its fetch-time snapshot by TX time (only
                             active under copy-validation mode).
+``kernel-dma-out-of-pd``    The kernel-DMA adapter forwarded a command
+                            outside the kernel's protection domain to
+                            the DMA engine (enforcement leaked).
+``invocation-leak``         A guarded invocation completed cleanly with
+                            unconsumed DMA read data still queued on
+                            dmaDataIn.
+``quarantine-coherence``    A quarantined kernel entered serve(), or a
+                            kernel latched quarantine without reaching
+                            its consecutive-abort threshold.
 ==========================  =============================================
 
 Every violation raises :class:`InvariantViolation` carrying the fault
@@ -313,6 +322,49 @@ class InvariantChecker:
                 "qp-error-timer-armed", nic.name,
                 f"qp{qpn} entered the error state ({reason}) with its "
                 f"retransmission timer still armed")
+
+    # ------------------------------------------------------------------
+    # Kernel guard plane (protection domains, watchdog, quarantine)
+    # ------------------------------------------------------------------
+    def on_kernel_dma(self, nic, kernel, cmd) -> None:
+        """A guarded kernel's DMA command is about to be forwarded to
+        the DMA engine: re-verify the protection domain."""
+        self.assertions.add()
+        guard = kernel.guard
+        if guard is None or guard.protection is None:
+            return
+        if not guard.protection.permits(cmd.vaddr, cmd.length,
+                                        cmd.is_write):
+            kind = "write" if cmd.is_write else "read"
+            self._violate(
+                "kernel-dma-out-of-pd", f"{nic.name}.{kernel.name}",
+                f"DMA {kind} ({cmd.vaddr:#x}, +{cmd.length}) forwarded "
+                f"to the DMA engine outside the protection domain")
+
+    def on_kernel_serve(self, kernel) -> None:
+        """A guarded kernel is about to serve an invocation."""
+        self.assertions.add()
+        guard = kernel.guard
+        if guard.quarantined:
+            self._violate(
+                "quarantine-coherence", kernel.trace_source,
+                "quarantined kernel entered serve()")
+        if guard.consecutive_aborts >= guard.quarantine_threshold:
+            self._violate(
+                "quarantine-coherence", kernel.trace_source,
+                f"{guard.consecutive_aborts} consecutive aborts "
+                f">= threshold {guard.quarantine_threshold} without "
+                f"the quarantine latching")
+
+    def on_kernel_finish(self, kernel) -> None:
+        """A guarded invocation completed cleanly: every DMA read the
+        kernel issued must have been consumed."""
+        self.assertions.add()
+        if len(kernel.streams.dma_data_in) > 0:
+            self._violate(
+                "invocation-leak", kernel.trace_source,
+                f"{len(kernel.streams.dma_data_in)} unconsumed DMA "
+                f"completions on dmaDataIn after a clean invocation")
 
     # ------------------------------------------------------------------
     # DMA commit (MR bounds via the TLB)

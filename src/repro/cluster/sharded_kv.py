@@ -144,7 +144,10 @@ class ShardedKvService:
                  value_capacity: int = 4 * 1024 * 1024,
                  chain_capacity: int = 4096,
                  vnodes: int = 64,
-                 replicas: int = 1) -> None:
+                 replicas: int = 1,
+                 kernel_protection: bool = False,
+                 kernel_budget=None,
+                 quarantine_threshold: int = 3) -> None:
         if not servers:
             raise ValueError("need at least one server host")
         if not 1 <= replicas <= len(servers):
@@ -155,8 +158,18 @@ class ShardedKvService:
                                 value_capacity=value_capacity,
                                 chain_capacity=chain_capacity)
                        for node in servers]
-        for shard in self.shards:
-            shard.deploy_traversal_kernel()
+        #: Hardened deployment: confine each traversal kernel's DMA to
+        #: its shard's KV regions and bound invocations by the budget
+        #: (an :class:`~repro.core.guard.InvocationBudget`).  Off by
+        #: default — unhardened kernels carry no guard and schedule
+        #: bit-identically to earlier builds.
+        self.kernels = [
+            shard.deploy_traversal_kernel(
+                protection=shard.protection_domain()
+                if kernel_protection else None,
+                budget=kernel_budget,
+                quarantine_threshold=quarantine_threshold)
+            for shard in self.shards]
         self.ring = HashRing(len(self.shards), vnodes=vnodes)
         #: One RPC-handler core per server (TCP calls serialize on it).
         self.server_cores = [Resource(self.env, 1) for _ in self.shards]
@@ -265,6 +278,13 @@ class ShardedKvClient:
         self.unavailable = metrics.counter(f"{prefix}.unavailable")
         self.retired = metrics.counter(f"{prefix}.conns_retired")
         self.reconnects = metrics.counter(f"{prefix}.reconnects")
+        #: strom GETs served by the READs path instead, because the
+        #: shard's traversal kernel answered with an RPC error (it is
+        #: aborting or quarantined).
+        self.strom_fallbacks = metrics.counter(f"{prefix}.strom_fallbacks")
+        #: Per-shard strom health: set False on the first RPC error
+        #: completion so later GETs skip the doomed round trip.
+        self._strom_ok = [True] * len(service.shards)
 
     # ------------------------------------------------------------------
     # Connection leasing
@@ -329,13 +349,32 @@ class ShardedKvClient:
             if path == "reads":
                 result = yield from connection.get_via_reads(key)
             elif path == "strom":
-                size = value_size if value_size is not None \
-                    else self.default_value_bytes
-                result = yield from connection.get_via_strom(key, size)
+                result = yield from self._strom_get(
+                    connection, shard_index, key, value_size)
             else:
                 result = yield from self._get_via_tcp(connection, key)
         finally:
             self._release(shard_index, connection)
+        return result
+
+    def _strom_get(self, connection: KvClient, target: int, key: int,
+                   value_size: Optional[int]):
+        """One strom GET with READ-path fallback.
+
+        An RPC error completion (the shard's kernel aborted the
+        invocation or is quarantined) downgrades this GET — and every
+        later strom GET to the same shard — to the one-sided READs
+        path, so hardened-kernel faults degrade latency, never
+        availability."""
+        if self._strom_ok[target]:
+            size = value_size if value_size is not None \
+                else self.default_value_bytes
+            result = yield from connection.get_via_strom(key, size)
+            if result.rpc_error is None:
+                return result
+            self._strom_ok[target] = False
+        self.strom_fallbacks.add()
+        result = yield from connection.get_via_reads(key)
         return result
 
     def _get_on(self, connection: KvClient, target: int, key: int,
@@ -344,9 +383,8 @@ class ShardedKvClient:
         if path == "reads":
             result = yield from connection.get_via_reads(key)
         elif path == "strom":
-            size = value_size if value_size is not None \
-                else self.default_value_bytes
-            result = yield from connection.get_via_strom(key, size)
+            result = yield from self._strom_get(connection, target, key,
+                                                value_size)
         else:
             result = yield from self._get_via_tcp(connection, key)
             if not self.service.is_up(target):

@@ -5,10 +5,20 @@
 - :class:`KernelRegistry`: Portals-style RPC op-code matching with CPU
   fallback (Section 5.1).
 - :mod:`repro.core.rpc`: RPC op-codes, parameter marshalling, error codes.
+- :mod:`repro.core.guard`: kernel protection domains, watchdog budgets
+  and the quarantine latch (:class:`ProtectionDomain`,
+  :class:`InvocationBudget`, :class:`KernelGuard`).
 - :mod:`repro.core.payload`: the zero-copy payload plane
   (:class:`PayloadRef`, copy-validation mode, copy/ref accounting).
 """
 
+from .guard import (
+    ABORT_SENTINEL,
+    InvocationBudget,
+    KernelAbort,
+    KernelGuard,
+    ProtectionDomain,
+)
 from .kernel import (
     KernelStreams,
     MemCmd,
@@ -29,15 +39,26 @@ from .registry import KernelRegistry
 from .rpc import (
     MAX_PARAM_BYTES,
     PREAMBLE_SIZE,
+    RPC_ERROR_ABORTED,
     RPC_ERROR_BAD_PARAMS,
+    RPC_ERROR_CODES,
     RPC_ERROR_NO_KERNEL,
+    RPC_ERROR_PROTECTION,
+    RPC_ERROR_QUARANTINED,
+    RPC_ERROR_TIMEOUT,
     RpcOpcode,
     RpcPreamble,
+    is_rpc_error,
     pack_params,
     params_body,
+    rpc_error_bytes,
 )
 
 __all__ = [
+    "ABORT_SENTINEL",
+    "InvocationBudget",
+    "KernelAbort",
+    "KernelGuard",
     "KernelRegistry",
     "KernelStreams",
     "MAX_PARAM_BYTES",
@@ -46,8 +67,14 @@ __all__ = [
     "PREAMBLE_SIZE",
     "PayloadAliasingError",
     "PayloadRef",
+    "ProtectionDomain",
+    "RPC_ERROR_ABORTED",
     "RPC_ERROR_BAD_PARAMS",
+    "RPC_ERROR_CODES",
     "RPC_ERROR_NO_KERNEL",
+    "RPC_ERROR_PROTECTION",
+    "RPC_ERROR_QUARANTINED",
+    "RPC_ERROR_TIMEOUT",
     "RoceMeta",
     "RpcInvocation",
     "RpcOpcode",
@@ -56,7 +83,9 @@ __all__ = [
     "as_bytes",
     "copy_validate_enabled",
     "copy_validation",
+    "is_rpc_error",
     "pack_params",
     "params_body",
+    "rpc_error_bytes",
     "set_copy_validate",
 ]

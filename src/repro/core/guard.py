@@ -1,0 +1,271 @@
+"""Kernel protection domains and watchdog budgets.
+
+The paper's kernels are trusted bitstreams, but a robust NIC runtime
+cannot trust their *inputs*: a corrupted pointer in host memory sends
+:class:`~repro.kernels.traversal.TraversalKernel` chasing garbage, and a
+buggy or malicious parameter block can direct kernel DMA at arbitrary
+host addresses.  Storm and RecoNIC both treat isolation and bounded
+execution of NIC-resident compute as first-class requirements; this
+module supplies the two mechanisms:
+
+* :class:`ProtectionDomain` — the ``(base, length, rw)`` regions a
+  deployed kernel may touch with DMA.  Every ``MemCmd`` is validated
+  (kernel-side in the issue helpers, and again in the NIC's kernel-DMA
+  adapter before it reaches :mod:`repro.nic.dma`); a violation aborts
+  the invocation with ``RPC_ERROR_PROTECTION`` instead of silently
+  corrupting host memory.
+
+* :class:`InvocationBudget` — per-invocation sim-time deadline, DMA-byte
+  quota and traversal hop limit (with visited-set cycle detection).
+  Budget exhaustion aborts the invocation with ``RPC_ERROR_TIMEOUT`` /
+  ``RPC_ERROR_ABORTED``.
+
+:class:`KernelGuard` holds the per-kernel state: the current
+invocation's consumption, the abort bookkeeping, and the quarantine
+latch — after ``quarantine_threshold`` *consecutive* aborts the kernel
+stops serving and subsequent RPCs are answered with
+``RPC_ERROR_QUARANTINED`` (clients fall back to READ/TCP paths).
+
+Everything here is opt-in: kernels deployed without ``protection`` or
+``budget`` carry no guard (``kernel.guard is None``) and their seeded
+schedules stay bit-identical to an enforcement-free build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .rpc import RPC_ERROR_ABORTED, RPC_ERROR_PROTECTION, RPC_ERROR_TIMEOUT
+
+
+class KernelAbort(Exception):
+    """Raised inside a kernel process to abort the current invocation.
+
+    Carries the RPC error ``code`` the requester will find in its
+    response buffer and a human-readable ``reason`` for traces/tests.
+    """
+
+    def __init__(self, code: int, reason: str) -> None:
+        super().__init__(f"0x{code:08X}: {reason}")
+        self.code = code
+        self.reason = reason
+
+
+class _AbortSentinel:
+    """Queued into a kernel's input streams to wake a blocked kernel."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ABORT_SENTINEL>"
+
+
+#: Singleton woken-up marker; compare with ``is``.
+ABORT_SENTINEL = _AbortSentinel()
+
+
+@dataclass
+class ProtectionDomain:
+    """The host-memory regions one kernel may address with DMA.
+
+    Regions are ``(base, length, writable)`` triples; reads are
+    permitted inside any region, writes only inside writable ones.
+    """
+
+    regions: List[Tuple[int, int, bool]] = field(default_factory=list)
+
+    def allow(self, base: int, length: int,
+              writable: bool = False) -> "ProtectionDomain":
+        """Permit ``[base, base+length)``; chainable."""
+        if base < 0 or length <= 0:
+            raise ValueError("protection region must be non-empty")
+        self.regions.append((base, length, writable))
+        return self
+
+    def allow_region(self, region,
+                     writable: bool = False) -> "ProtectionDomain":
+        """Permit an allocated :class:`~repro.host.memory.Region`."""
+        return self.allow(region.vaddr, region.nbytes, writable)
+
+    def permits(self, vaddr: int, length: int, is_write: bool) -> bool:
+        """Whether one DMA access lies entirely inside the domain."""
+        if length <= 0:
+            return False
+        end = vaddr + length
+        for base, size, writable in self.regions:
+            if vaddr >= base and end <= base + size:
+                if is_write and not writable:
+                    continue
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class InvocationBudget:
+    """Per-invocation resource limits; ``None`` disables a dimension."""
+
+    #: Sim-time the invocation may run before the watchdog fires
+    #: ``RPC_ERROR_TIMEOUT`` (picoseconds).
+    deadline_ps: Optional[int] = None
+    #: Total DMA bytes (reads + writes) before ``RPC_ERROR_ABORTED``.
+    dma_byte_quota: Optional[int] = None
+    #: Pointer-chase hops before ``RPC_ERROR_TIMEOUT`` — the traversal
+    #: watchdog for corrupted structures that never terminate.
+    hop_limit: Optional[int] = None
+    #: Detect revisited element addresses (pointer cycles) and abort
+    #: with ``RPC_ERROR_ABORTED`` before the hop limit is reached.
+    detect_cycles: bool = True
+
+    def __post_init__(self) -> None:
+        if self.deadline_ps is not None and self.deadline_ps <= 0:
+            raise ValueError("deadline must be positive")
+        if self.dma_byte_quota is not None and self.dma_byte_quota <= 0:
+            raise ValueError("DMA quota must be positive")
+        if self.hop_limit is not None and self.hop_limit <= 0:
+            raise ValueError("hop limit must be positive")
+
+
+class KernelGuard:
+    """Per-deployed-kernel enforcement state.
+
+    Attached by ``Nic.deploy_kernel(..., protection=, budget=)``;
+    ``kernel.guard`` stays ``None`` for unhardened deployments.
+    """
+
+    def __init__(self, protection: Optional[ProtectionDomain] = None,
+                 budget: Optional[InvocationBudget] = None,
+                 quarantine_threshold: int = 3) -> None:
+        if quarantine_threshold <= 0:
+            raise ValueError("quarantine threshold must be positive")
+        self.protection = protection
+        self.budget = budget
+        self.quarantine_threshold = quarantine_threshold
+        #: Set once quarantined; only an explicit operator reset clears it.
+        self.quarantined = False
+        self.consecutive_aborts = 0
+        #: Lifetime abort tally by RPC error code (for experiments).
+        self.abort_counts: Dict[int, int] = {}
+        #: True while an invocation is being served.
+        self.active = False
+        #: Bumped at every invocation boundary (begin/finish/abort);
+        #: in-flight DMA completions for an older epoch are discarded.
+        self.epoch = 0
+        #: ``(code, reason)`` set by the watchdog or the DMA adapter;
+        #: the kernel raises it at its next interaction point.
+        self.pending_abort: Optional[Tuple[int, str]] = None
+        self.started_at = 0
+        self.dma_bytes_used = 0
+        self.hops = 0
+        self.visited: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # invocation lifecycle
+
+    def begin(self, now: int) -> None:
+        self.active = True
+        self.epoch += 1
+        self.started_at = now
+        self.dma_bytes_used = 0
+        self.hops = 0
+        self.visited.clear()
+        self.pending_abort = None
+
+    def finish(self) -> None:
+        """Clean completion: the consecutive-abort streak resets."""
+        self.active = False
+        self.epoch += 1
+        self.consecutive_aborts = 0
+        self.pending_abort = None
+
+    def abandon(self) -> None:
+        """End an invocation without abort accounting (bad params)."""
+        self.active = False
+        self.epoch += 1
+        self.pending_abort = None
+
+    def note_abort(self, code: int) -> None:
+        """Record an abort; latch quarantine at the threshold."""
+        self.active = False
+        self.epoch += 1
+        self.pending_abort = None
+        self.abort_counts[code] = self.abort_counts.get(code, 0) + 1
+        self.consecutive_aborts += 1
+        if self.consecutive_aborts >= self.quarantine_threshold:
+            self.quarantined = True
+
+    @property
+    def aborts(self) -> int:
+        return sum(self.abort_counts.values())
+
+    # ------------------------------------------------------------------
+    # checks raised from the kernel process
+
+    def expire(self, code: int, reason: str) -> None:
+        """Mark the running invocation doomed (from watchdog/adapter);
+        the kernel raises at its next interaction point."""
+        if self.active and self.pending_abort is None:
+            self.pending_abort = (code, reason)
+
+    def take_abort(self) -> KernelAbort:
+        code, reason = self.pending_abort or (
+            RPC_ERROR_ABORTED, "aborted")
+        return KernelAbort(code, reason)
+
+    def check_live(self, now: int) -> None:
+        """Raise the pending abort / an expired deadline, if any."""
+        if self.pending_abort is not None:
+            raise self.take_abort()
+        if (self.budget is not None
+                and self.budget.deadline_ps is not None
+                and now - self.started_at > self.budget.deadline_ps):
+            raise KernelAbort(RPC_ERROR_TIMEOUT,
+                              "invocation deadline exceeded")
+
+    def charge_dma(self, vaddr: int, length: int, is_write: bool,
+                   now: int) -> None:
+        """Validate one DMA access about to be issued by the kernel."""
+        self.check_live(now)
+        if (self.protection is not None
+                and not self.protection.permits(vaddr, length, is_write)):
+            kind = "write" if is_write else "read"
+            raise KernelAbort(
+                RPC_ERROR_PROTECTION,
+                f"DMA {kind} [0x{vaddr:X}, +{length}) outside the "
+                f"protection domain")
+        if self.budget is not None \
+                and self.budget.dma_byte_quota is not None:
+            self.dma_bytes_used += length
+            if self.dma_bytes_used > self.budget.dma_byte_quota:
+                raise KernelAbort(RPC_ERROR_ABORTED,
+                                  "DMA byte quota exhausted")
+
+    def note_hop(self, address: int) -> None:
+        """Account one pointer-chase hop at ``address``."""
+        if self.budget is None:
+            return
+        if self.budget.detect_cycles:
+            if address in self.visited:
+                raise KernelAbort(RPC_ERROR_ABORTED,
+                                  f"pointer cycle at 0x{address:X}")
+            self.visited.add(address)
+        if self.budget.hop_limit is not None:
+            self.hops += 1
+            if self.hops > self.budget.hop_limit:
+                raise KernelAbort(RPC_ERROR_TIMEOUT,
+                                  "traversal hop limit exceeded")
+
+    # ------------------------------------------------------------------
+    # adapter-side validation (authoritative gate before nic/dma.py)
+
+    def admit_dma(self, vaddr: int, length: int, is_write: bool) -> bool:
+        """Final PD check in the kernel-DMA adapter.  Rejection marks
+        the invocation doomed and returns ``False``; the adapter then
+        discards the command instead of forwarding it to the DMA
+        engine."""
+        if self.protection is not None \
+                and not self.protection.permits(vaddr, length, is_write):
+            self.expire(RPC_ERROR_PROTECTION,
+                        "kernel DMA command outside the protection domain")
+            return False
+        return True

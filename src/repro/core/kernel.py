@@ -21,12 +21,16 @@ per clock, i.e. line rate (Section 3.4, footnote 3).
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..config import NicConfig
 from ..obs.runtime import trace_for
 from ..sim import Simulator, Stream
+from .guard import ABORT_SENTINEL, KernelAbort, KernelGuard
+from .rpc import (RPC_ERROR_BAD_PARAMS, RPC_ERROR_QUARANTINED,
+                  RPC_ERROR_TIMEOUT, RpcPreamble, rpc_error_bytes)
 
 
 @dataclass(frozen=True)
@@ -79,13 +83,35 @@ class KernelStreams:
         self.roce_meta_out = Stream(env, capacity=depth, name="roceMetaOut")
         self.roce_data_out = Stream(env, capacity=depth, name="roceDataOut")
 
+    def drain_inputs(self) -> int:
+        """Discard queued input data after an aborted invocation.
+
+        Clears ``dmaDataIn`` (stale read completions, wake-up
+        sentinels) and ``roceDataIn`` (stale RPC WRITE payload).  The
+        kernel process is the sole consumer of both, so no blocked
+        getter can be mid-transfer.  Output streams are left alone:
+        commands already queued passed validation (posted writes cannot
+        be recalled, as on real hardware) and the TX adapter may be
+        mid-pair on meta/data."""
+        return self.dma_data_in.clear() + self.roce_data_in.clear()
+
+    def discard_sentinels(self) -> int:
+        """Drop stale watchdog sentinels after a clean completion."""
+        return (self.dma_data_in.discard(ABORT_SENTINEL)
+                + self.roce_data_in.discard(ABORT_SENTINEL))
+
 
 class StromKernel:
     """Base class for StRoM kernels.
 
-    Subclasses implement :meth:`run` as a simulation process that loops
-    forever serving invocations.  The NIC wires the streams to the RoCE
-    stack and the DMA engine and starts the kernel when it is deployed.
+    Subclasses implement :meth:`parse_params` (raises on a malformed
+    parameter block) and :meth:`serve` (a generator handling one
+    invocation); the base :meth:`run` loop turns parse failures into
+    ``RPC_ERROR_BAD_PARAMS`` completions and — for kernels deployed
+    with a :class:`~repro.core.guard.KernelGuard` — enforces protection
+    domains, watchdog budgets and the quarantine latch.  The NIC wires
+    the streams to the RoCE stack and the DMA engine and starts the
+    kernel when it is deployed.
     """
 
     #: Human-readable kernel name (diagnostics only).
@@ -96,6 +122,20 @@ class StromKernel:
         self.config = config
         self.streams = KernelStreams(env)
         self.invocations = 0
+        #: Hardening state; None unless deployed with protection/budget.
+        self.guard: Optional[KernelGuard] = None
+        #: Invocations answered with RPC_ERROR_BAD_PARAMS.
+        self.params_rejected = 0
+        #: Invocations aborted by the guard (any error code).
+        self.aborts = 0
+        #: Queued invocations refused because the kernel is quarantined.
+        self.invocations_refused = 0
+        #: Fault-injection hook: a positive sim-time makes the kernel
+        #: stall (a stuck pipeline stage) until that instant.
+        self.stall_until = 0
+        #: Invariant monitors while REPRO_CHECK is active, else None.
+        from ..check import checker_for  # runtime import; avoids a cycle
+        self.check = checker_for(env)
         #: Flight recorder while an obs session is active, else None.
         self.trace = trace_for(env)
         #: Span source label; the NIC overrides this at deploy time with
@@ -110,10 +150,91 @@ class StromKernel:
         """Launch the kernel's process(es)."""
         self.env.process(self.run())
 
-    def run(self) -> Generator:
-        """The kernel's main loop; must be overridden."""
+    def parse_params(self, raw: bytes):
+        """Decode the invocation's parameter block.
+
+        ``ValueError`` / ``struct.error`` / ``KeyError`` raised here
+        answer the requester with ``RPC_ERROR_BAD_PARAMS`` instead of
+        crashing the kernel process."""
+        return raw
+
+    def serve(self, invocation: RpcInvocation, params) -> Generator:
+        """Handle one invocation; must be overridden."""
         raise NotImplementedError
         yield  # pragma: no cover
+
+    def run(self) -> Generator:
+        """The shared main loop: parse, guard, serve, complete."""
+        while True:
+            invocation = yield from self.next_invocation()
+            guard = self.guard
+            try:
+                params = self.parse_params(invocation.params)
+            except (ValueError, KeyError, struct.error):
+                self.params_rejected += 1
+                yield from self._complete_error(
+                    invocation, RPC_ERROR_BAD_PARAMS)
+                continue
+            if guard is not None:
+                if guard.quarantined:
+                    # Dispatched before the quarantine latched; answer
+                    # without serving (the NIC refuses newer RPCs).
+                    self.invocations_refused += 1
+                    yield from self._complete_error(
+                        invocation, RPC_ERROR_QUARANTINED)
+                    continue
+                if self.check is not None:
+                    self.check.on_kernel_serve(self)
+                guard.begin(self.env.now)
+                if guard.budget is not None \
+                        and guard.budget.deadline_ps is not None:
+                    self.env.process(self._watchdog(guard, guard.epoch))
+            try:
+                yield from self.serve(invocation, params)
+            except KernelAbort as abort:
+                self.aborts += 1
+                self.streams.drain_inputs()
+                if guard is not None:
+                    guard.note_abort(abort.code)
+                yield from self._complete_error(invocation, abort.code)
+            except ValueError:
+                # Malformed parameters only discovered mid-serve (e.g.
+                # a value position beyond the element size).
+                self.params_rejected += 1
+                self.streams.drain_inputs()
+                if guard is not None and guard.active:
+                    guard.abandon()
+                yield from self._complete_error(
+                    invocation, RPC_ERROR_BAD_PARAMS)
+            else:
+                if guard is not None:
+                    if guard.pending_abort is not None:
+                        # Watchdog fired after the response was already
+                        # emitted: completed, but clean up its wake-ups.
+                        self.streams.discard_sentinels()
+                    guard.finish()
+                    if self.check is not None:
+                        self.check.on_kernel_finish(self)
+
+    def _complete_error(self, invocation: RpcInvocation, code: int):
+        """Write an 8-byte error completion to the response buffer."""
+        try:
+            preamble = RpcPreamble.unpack(invocation.params)
+        except ValueError:
+            return  # not even a preamble: nowhere to respond
+        yield from self.send_to_network(
+            invocation.qpn, preamble.response_vaddr, rpc_error_bytes(code))
+
+    def _watchdog(self, guard: KernelGuard, epoch: int) -> Generator:
+        """Deadline watchdog for one invocation (spawned only when a
+        deadline budget is set — zero events otherwise)."""
+        yield self.env.timeout(guard.budget.deadline_ps)
+        if guard.epoch != epoch or not guard.active:
+            return  # invocation already over
+        guard.expire(RPC_ERROR_TIMEOUT, "invocation deadline exceeded")
+        # Wake the kernel if it is blocked waiting for input.
+        self.streams.dma_data_in.try_put(ABORT_SENTINEL)
+        self.streams.roce_data_in.try_put(ABORT_SENTINEL)
 
     # ------------------------------------------------------------------
     # Timing helpers
@@ -155,25 +276,60 @@ class StromKernel:
         return RpcInvocation(qpn=qpn, params=params)
 
     def dma_read(self, vaddr: int, length: int):
-        """Issue a DMA read command and wait for the data."""
+        """Issue a DMA read command and wait for the data.
+
+        With a guard attached the access is validated against the
+        protection domain and charged against the DMA quota *before*
+        the command is enqueued; a violation raises
+        :class:`~repro.core.guard.KernelAbort`."""
+        guard = self.guard
+        if guard is not None and guard.active:
+            guard.charge_dma(vaddr, length, False, self.env.now)
         yield self.streams.dma_cmd_out.put(
             MemCmd(vaddr=vaddr, length=length, is_write=False))
         data = yield self.streams.dma_data_in.get()
+        if data is ABORT_SENTINEL:
+            raise guard.take_abort()
+        if self.stall_until:
+            yield from self._stall()
         return data
 
     def dma_write(self, vaddr: int, data: bytes):
         """Issue a DMA write command followed by its data."""
+        guard = self.guard
+        if guard is not None and guard.active:
+            guard.charge_dma(vaddr, len(data), True, self.env.now)
         yield self.streams.dma_cmd_out.put(
             MemCmd(vaddr=vaddr, length=len(data), is_write=True))
         yield self.streams.dma_data_out.put(data)
 
     def send_to_network(self, qpn: int, target_vaddr: int, data: bytes):
         """Emit an RDMA WRITE of ``data`` to the requester's memory."""
+        guard = self.guard
+        if guard is not None and guard.active:
+            guard.check_live(self.env.now)
         yield self.streams.roce_meta_out.put(
             RoceMeta(qpn=qpn, target_vaddr=target_vaddr, length=len(data)))
         yield self.streams.roce_data_out.put(data)
 
     def receive_payload(self):
         """Wait for one RPC WRITE payload chunk on roceDataIn."""
+        guard = self.guard
+        if guard is not None and guard.active:
+            guard.check_live(self.env.now)
         chunk = yield self.streams.roce_data_in.get()
+        if chunk is ABORT_SENTINEL:
+            raise guard.take_abort()
+        if self.stall_until:
+            yield from self._stall()
         return chunk
+
+    def _stall(self):
+        """Serve an injected stuck-pipeline fault, then re-check the
+        watchdog so a stalled invocation aborts promptly."""
+        now = self.env.now
+        if self.stall_until > now:
+            yield self.env.timeout(self.stall_until - now)
+        guard = self.guard
+        if guard is not None and guard.active:
+            guard.check_live(self.env.now)

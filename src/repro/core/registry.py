@@ -10,7 +10,7 @@ requesting node."
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..sim import Counter
 from .kernel import StromKernel
@@ -25,6 +25,7 @@ class KernelRegistry:
         self.matches = Counter("rpc.matches")
         self.misses = Counter("rpc.misses")
         self.fallbacks = Counter("rpc.fallbacks")
+        self.quarantined = Counter("rpc.quarantined")
 
     def deploy(self, rpc_opcode: int, kernel: StromKernel) -> None:
         """Deploy (and start) a kernel under ``rpc_opcode``.
@@ -41,13 +42,29 @@ class KernelRegistry:
         params)`` is a generator run as a host process on a miss."""
         self._fallback = handler
 
-    def match(self, rpc_opcode: int) -> Optional[StromKernel]:
+    def resolve(self, rpc_opcode: int) \
+            -> Tuple[Optional[StromKernel], str]:
+        """Match one RPC against the deployed kernels.
+
+        Returns ``(kernel, status)`` with status ``"match"``,
+        ``"miss"`` or ``"quarantined"`` — a quarantined kernel (its
+        guard latched after repeated aborts) is returned alongside the
+        status so callers can answer ``RPC_ERROR_QUARANTINED`` without
+        feeding it.  Exactly one of the three counters increments.
+        """
         kernel = self._kernels.get(rpc_opcode)
-        if kernel is not None:
-            self.matches.add()
-        else:
+        if kernel is None:
             self.misses.add()
-        return kernel
+            return None, "miss"
+        if kernel.guard is not None and kernel.guard.quarantined:
+            self.quarantined.add()
+            return kernel, "quarantined"
+        self.matches.add()
+        return kernel, "match"
+
+    def match(self, rpc_opcode: int) -> Optional[StromKernel]:
+        kernel, status = self.resolve(rpc_opcode)
+        return kernel if status == "match" else None
 
     @property
     def fallback(self) -> Optional[Callable]:

@@ -37,6 +37,34 @@ class RpcOpcode(IntEnum):
 #: Error codes written to ``response_vaddr`` on failure.
 RPC_ERROR_NO_KERNEL = 0xDEAD_0001
 RPC_ERROR_BAD_PARAMS = 0xDEAD_0002
+#: A kernel-issued DMA command fell outside its protection domain.
+RPC_ERROR_PROTECTION = 0xDEAD_0003
+#: The invocation exhausted its sim-time deadline or hop budget.
+RPC_ERROR_TIMEOUT = 0xDEAD_0004
+#: The invocation was aborted (DMA quota, pointer cycle, ...).
+RPC_ERROR_ABORTED = 0xDEAD_0005
+#: The target kernel is quarantined after repeated aborts.
+RPC_ERROR_QUARANTINED = 0xDEAD_0006
+
+#: Every code a requester may find in its response buffer.
+RPC_ERROR_CODES = frozenset({
+    RPC_ERROR_NO_KERNEL,
+    RPC_ERROR_BAD_PARAMS,
+    RPC_ERROR_PROTECTION,
+    RPC_ERROR_TIMEOUT,
+    RPC_ERROR_ABORTED,
+    RPC_ERROR_QUARANTINED,
+})
+
+
+def is_rpc_error(value: int) -> bool:
+    """Whether a response-buffer head word is an RPC error completion."""
+    return value in RPC_ERROR_CODES
+
+
+def rpc_error_bytes(code: int) -> bytes:
+    """The 8-byte completion written back to ``response_vaddr``."""
+    return code.to_bytes(8, "little")
 
 _PREAMBLE = struct.Struct("<QQ")
 PREAMBLE_SIZE = _PREAMBLE.size

@@ -54,6 +54,7 @@ from .fig09_consistency import (
 )
 from .fig11_shuffle import shuffle_experiment
 from .incast_sweep import incast_sweep_experiment
+from .kernel_fault_sweep import kernel_fault_sweep_experiment
 from .fig13_hll import hll_cpu_experiment, hll_kernel_experiment
 from .table3_resources import table3_experiment, virtex7_experiment
 from .validation import flow_vs_detailed_experiment, stack_budget_experiment
@@ -104,6 +105,11 @@ def _registry(fast: bool,
             crash_modes=(True,) if fast else (False, True),
             seed=seed,
             offered_per_shard=40_000.0 if fast else 60_000.0,
+            window_ps=MS if fast else 2 * MS),
+        "kernel-fault-sweep": lambda: kernel_fault_sweep_experiment(
+            fault_levels=(0, 6) if fast else (0, 2, 4, 8),
+            seed=seed,
+            offered_per_shard=30_000.0 if fast else 40_000.0,
             window_ps=MS if fast else 2 * MS),
         "incast-sweep": lambda: incast_sweep_experiment(
             sender_counts=(2, 8) if fast else (2, 4, 8, 16),

@@ -131,6 +131,56 @@ class FaultSchedule:
                        kind="shard_restart", target=f"shard{shard_index}")
 
     # ------------------------------------------------------------------
+    # Kernel-plane faults (see DESIGN.md, "Kernel protection & watchdog")
+    # ------------------------------------------------------------------
+    def corrupt_pointer(self, at: int, node, vaddr: int,
+                        pointer: int) -> "FaultSchedule":
+        """Overwrite the 8-byte pointer at ``node``'s ``vaddr`` —
+        e.g. redirect a linked-list next pointer at itself (a cycle)
+        or at unmapped memory (a wild pointer)."""
+        def apply() -> None:
+            node.space.write(vaddr, pointer.to_bytes(8, "little"))
+        return self.at(at, apply, kind="pointer_corruption",
+                       target=node.name, vaddr=vaddr, pointer=pointer)
+
+    def flip_bits(self, at: int, node, vaddr: int,
+                  mask: bytes) -> "FaultSchedule":
+        """XOR ``mask`` into host memory at ``vaddr`` (element bit
+        flips: corrupted keys, lengths, flags)."""
+        if not mask:
+            raise ValueError("need a non-empty flip mask")
+
+        def apply() -> None:
+            data = node.space.read(vaddr, len(mask))
+            node.space.write(vaddr, bytes(b ^ m for b, m in
+                                          zip(data, mask)))
+        return self.at(at, apply, kind="bit_flip", target=node.name,
+                       vaddr=vaddr, bits=len(mask) * 8)
+
+    def malformed_rpc(self, at: int, node, qpn: int, rpc_opcode: int,
+                      params: bytes) -> "FaultSchedule":
+        """Post a raw (typically malformed) RPC parameter block from
+        ``node`` — exercises the BAD_PARAMS completion path."""
+        def apply() -> None:
+            self.env.process(node.post_rpc(qpn, rpc_opcode, params))
+        return self.at(at, apply, kind="malformed_rpc", target=node.name,
+                       rpc_opcode=int(rpc_opcode), length=len(params))
+
+    def stall_kernel(self, at: int, kernel,
+                     duration: int) -> "FaultSchedule":
+        """Wedge a kernel's pipeline (a stuck stream) until
+        ``at + duration``: invocations touching the kernel during the
+        window make no progress, so a deadline-budgeted deployment
+        aborts them with RPC_ERROR_TIMEOUT."""
+        if duration <= 0:
+            raise ValueError("stall duration must be positive")
+
+        def apply() -> None:
+            kernel.stall_until = max(kernel.stall_until, at + duration)
+        return self.at(at, apply, kind="kernel_stall",
+                       target=kernel.name, duration=duration)
+
+    # ------------------------------------------------------------------
     # Driver
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -84,11 +84,11 @@ class AggregateKernel(StromKernel):
         self.sessions = 0
         self.tuples_seen = 0
 
-    def run(self):
-        while True:
-            invocation = yield from self.next_invocation()
-            params = AggregateParams.unpack(invocation.params)
-            yield from self._session(invocation.qpn, params)
+    def parse_params(self, raw: bytes) -> AggregateParams:
+        return AggregateParams.unpack(raw)
+
+    def serve(self, invocation, params: AggregateParams):
+        yield from self._session(invocation.qpn, params)
 
     def _session(self, qpn: int, params: AggregateParams):
         yield self.charge_cycles(self.PIPELINE_CYCLES)

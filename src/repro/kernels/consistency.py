@@ -81,11 +81,11 @@ class ConsistencyKernel(StromKernel):
         self.checks_failed = 0
         self.gave_up = 0
 
-    def run(self):
-        while True:
-            invocation = yield from self.next_invocation()
-            params = ConsistencyParams.unpack(invocation.params)
-            yield from self._verified_read(invocation.qpn, params)
+    def parse_params(self, raw: bytes) -> ConsistencyParams:
+        return ConsistencyParams.unpack(raw)
+
+    def serve(self, invocation, params: ConsistencyParams):
+        yield from self._verified_read(invocation.qpn, params)
 
     def _verified_read(self, qpn: int, params: ConsistencyParams):
         attempts = 1 + params.max_retries

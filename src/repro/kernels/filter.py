@@ -94,11 +94,11 @@ class FilterKernel(StromKernel):
         self.tuples_seen = 0
         self.tuples_kept = 0
 
-    def run(self):
-        while True:
-            invocation = yield from self.next_invocation()
-            params = FilterParams.unpack(invocation.params)
-            yield from self._session(invocation.qpn, params)
+    def parse_params(self, raw: bytes) -> FilterParams:
+        return FilterParams.unpack(raw)
+
+    def serve(self, invocation, params: FilterParams):
+        yield from self._session(invocation.qpn, params)
 
     def _session(self, qpn: int, params: FilterParams):
         yield self.charge_cycles(self.PIPELINE_CYCLES)

@@ -69,27 +69,26 @@ class GetKernel(StromKernel):
     #: Fixed pipeline depth of the four DATAFLOW stages.
     PIPELINE_CYCLES = 12
 
-    def run(self):
-        while True:
-            invocation = yield from self.next_invocation()
-            params = GetParams.unpack(invocation.params)
+    def parse_params(self, raw: bytes) -> GetParams:
+        return GetParams.unpack(raw)
 
-            # Stage 1 (fetch_ht_entry): one 64 B DMA read.
-            yield self.charge_cycles(self.PIPELINE_CYCLES)
-            entry_bytes = yield from self.dma_read(params.ht_entry_vaddr,
-                                                   HT_ENTRY_BYTES)
+    def serve(self, invocation, params: GetParams):
+        # Stage 1 (fetch_ht_entry): one 64 B DMA read.
+        yield self.charge_cycles(self.PIPELINE_CYCLES)
+        entry_bytes = yield from self.dma_read(params.ht_entry_vaddr,
+                                               HT_ENTRY_BYTES)
 
-            # Stage 2 (parse_ht_entry): the three comparisons are
-            # unrolled in hardware -> constant time.
-            buckets = unpack_ht_entry(entry_bytes)
-            match = [key == params.key for key, _, _ in buckets]
-            # Listing 4's priority mux: bucket 1, else 2, else 0.
-            index = 1 if match[1] else (2 if match[2] else 0)
-            _, value_ptr, value_len = buckets[index]
+        # Stage 2 (parse_ht_entry): the three comparisons are
+        # unrolled in hardware -> constant time.
+        buckets = unpack_ht_entry(entry_bytes)
+        match = [key == params.key for key, _, _ in buckets]
+        # Listing 4's priority mux: bucket 1, else 2, else 0.
+        index = 1 if match[1] else (2 if match[2] else 0)
+        _, value_ptr, value_len = buckets[index]
 
-            # Stages 3+4 (merge_read_cmds / split_read_data): fetch the
-            # value and stream it to the requester.
-            value = yield from self.dma_read(value_ptr, value_len)
-            yield self.charge_streaming(len(value))
-            yield from self.send_to_network(invocation.qpn,
-                                            params.response_vaddr, value)
+        # Stages 3+4 (merge_read_cmds / split_read_data): fetch the
+        # value and stream it to the requester.
+        value = yield from self.dma_read(value_ptr, value_len)
+        yield self.charge_streaming(len(value))
+        yield from self.send_to_network(invocation.qpn,
+                                        params.response_vaddr, value)

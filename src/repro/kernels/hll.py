@@ -70,11 +70,11 @@ class HllKernel(StromKernel):
         self.tuples_seen = 0
         self.sessions = 0
 
-    def run(self):
-        while True:
-            invocation = yield from self.next_invocation()
-            params = HllParams.unpack(invocation.params)
-            yield from self._session(invocation.qpn, params)
+    def parse_params(self, raw: bytes) -> HllParams:
+        return HllParams.unpack(raw)
+
+    def serve(self, invocation, params: HllParams):
+        yield from self._session(invocation.qpn, params)
 
     def _session(self, qpn: int, params: HllParams):
         sketch = HyperLogLog(precision=params.precision)

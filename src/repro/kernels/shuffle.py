@@ -97,11 +97,11 @@ class ShuffleKernel(StromKernel):
         self.tuples_overflowed = 0
         self.buffer_flushes = 0
 
-    def run(self):
-        while True:
-            invocation = yield from self.next_invocation()
-            params = ShuffleParams.unpack(invocation.params)
-            yield from self._shuffle_session(invocation.qpn, params)
+    def parse_params(self, raw: bytes) -> ShuffleParams:
+        return ShuffleParams.unpack(raw)
+
+    def serve(self, invocation, params: ShuffleParams):
+        yield from self._shuffle_session(invocation.qpn, params)
 
     def _shuffle_session(self, qpn: int, params: ShuffleParams):
         # Load the histogram: per-partition base address and capacity.

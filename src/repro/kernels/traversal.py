@@ -67,8 +67,8 @@ class TraversalParams:
     _BODY = struct.Struct("<QIQHBBBB")
 
     def __post_init__(self) -> None:
-        if self.value_size < 0:
-            raise ValueError("negative value size")
+        if self.value_size <= 0:
+            raise ValueError("value size must be positive")
         if not 0 <= self.key_mask < (1 << POSITIONS):
             raise ValueError("key mask exceeds the 16 positions")
         for position in (self.value_ptr_position,
@@ -123,15 +123,21 @@ class TraversalKernel(StromKernel):
         self.matches = 0
         self.not_found = 0
 
-    def run(self):
-        while True:
-            invocation = yield from self.next_invocation()
-            params = TraversalParams.unpack(invocation.params)
-            yield from self._traverse(invocation.qpn, params)
+    def parse_params(self, raw: bytes) -> TraversalParams:
+        return TraversalParams.unpack(raw)
+
+    def serve(self, invocation, params: TraversalParams):
+        yield from self._traverse(invocation.qpn, params)
 
     def _traverse(self, qpn: int, params: TraversalParams):
         address = params.remote_address
+        guard = self.guard
         for _hop in range(self.MAX_HOPS):
+            if guard is not None and guard.active:
+                # Watchdog hop budget: cycle detection via the visited
+                # set and the hop limit for corrupted structures that
+                # never terminate (raises KernelAbort).
+                guard.note_hop(address)
             element = yield from self.dma_read(address, ELEMENT_BYTES)
             self.elements_visited += 1
             yield self.charge_cycles(self.PIPELINE_CYCLES)

@@ -46,6 +46,7 @@ REG_TIMER_EXHAUSTIONS = 0xB0
 REG_QP_ERRORS = 0xB8
 REG_CMDS_REJECTED = 0xC0
 REG_CRASH_DROPS = 0xC8
+REG_RPC_QUARANTINED = 0xD0
 
 #: Human-readable names, in register order (the driver's debugfs view).
 REGISTER_NAMES = {
@@ -75,6 +76,7 @@ REGISTER_NAMES = {
     REG_QP_ERRORS: "qp_errors",
     REG_CMDS_REJECTED: "cmds_rejected",
     REG_CRASH_DROPS: "crash_drops",
+    REG_RPC_QUARANTINED: "rpc_quarantined",
 }
 
 
@@ -111,6 +113,7 @@ class Controller:
             REG_QP_ERRORS: lambda: int(nic.qp_errors),
             REG_CMDS_REJECTED: lambda: int(nic.commands_rejected),
             REG_CRASH_DROPS: lambda: int(nic.crash_drops),
+            REG_RPC_QUARANTINED: lambda: int(nic.registry.quarantined),
         }
 
     def read_register(self, offset: int) -> int:

@@ -23,10 +23,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..check import checker_for
 from ..config import NicConfig
+from ..core.guard import (ABORT_SENTINEL, InvocationBudget, KernelGuard,
+                          ProtectionDomain)
 from ..core.kernel import MemCmd, RoceMeta, StromKernel
 from ..core.payload import as_bytes
 from ..core.registry import KernelRegistry
-from ..core.rpc import RPC_ERROR_NO_KERNEL, RpcPreamble
+from ..core.rpc import (RPC_ERROR_NO_KERNEL, RPC_ERROR_QUARANTINED,
+                        RpcPreamble, rpc_error_bytes)
 from ..memory import PhysicalMemory
 from ..net.link import Cable
 from ..roce.headers import AETH_NAK_PSN_SEQ_ERROR, Aeth, Bth, Reth
@@ -244,10 +247,24 @@ class StromNic:
             self._send_cnp, self.metrics)
 
     def deploy_kernel(self, rpc_opcode: int, kernel: StromKernel,
-                      sequential_dma: bool = True) -> None:
-        """Deploy a StRoM kernel and start its stream adapters."""
+                      sequential_dma: bool = True,
+                      protection: Optional[ProtectionDomain] = None,
+                      budget: Optional[InvocationBudget] = None,
+                      quarantine_threshold: int = 3) -> None:
+        """Deploy a StRoM kernel and start its stream adapters.
+
+        ``protection`` / ``budget`` harden the deployment: DMA is
+        confined to the protection domain, invocations are bounded by
+        the budget, and ``quarantine_threshold`` consecutive aborts
+        quarantine the kernel (further RPCs answered with
+        ``RPC_ERROR_QUARANTINED``).  Both default to off, leaving the
+        kernel guard-free and its schedules untouched."""
         kernel.sequential_dma = sequential_dma
         kernel.trace_source = f"{self.name}.kernel.{kernel.name}"
+        if protection is not None or budget is not None:
+            kernel.guard = KernelGuard(
+                protection=protection, budget=budget,
+                quarantine_threshold=quarantine_threshold)
         self.registry.deploy(rpc_opcode, kernel)
         self.env.process(self._kernel_dma_adapter(kernel))
         self.env.process(self._kernel_tx_adapter(kernel))
@@ -347,11 +364,24 @@ class StromNic:
         ``command.qpn`` selects where kernel *output* goes: LOCAL_QPN for
         local memory, or a connected QP to use the kernel as a send-side
         processor."""
-        kernel = self.registry.match(command.rpc_op)
+        kernel, status = self.registry.resolve(command.rpc_op)
         if kernel is None:
             raise KeyError(
                 f"no kernel deployed for RPC op-code {command.rpc_op:#x}")
         yield self.env.timeout(self._arb_delay)
+        if status == "quarantined":
+            # Answer locally without feeding the quarantined kernel.
+            try:
+                preamble = RpcPreamble.unpack(command.params)
+            except ValueError:
+                self.commands_rejected.add()
+            else:
+                yield from self.dma.write(
+                    preamble.response_vaddr,
+                    rpc_error_bytes(RPC_ERROR_QUARANTINED))
+            if command.completion is not None:
+                command.completion.succeed(self.env.now)
+            return
         yield kernel.streams.qpn_in.put(command.qpn)
         yield kernel.streams.param_in.put(command.params)
         if command.completion is not None:
@@ -361,10 +391,17 @@ class StromNic:
         """Stream a local buffer through a kernel (send kernel): the
         payload is fetched over PCIe and fed to roceDataIn in data-path
         chunks, exactly as network RPC WRITE payload would arrive."""
-        kernel = self.registry.match(command.rpc_op)
+        kernel, status = self.registry.resolve(command.rpc_op)
         if kernel is None:
             raise KeyError(
                 f"no kernel deployed for RPC op-code {command.rpc_op:#x}")
+        if status == "quarantined":
+            # The paired RPC_PARAMS already answered with the error;
+            # do not feed payload into a quarantined kernel.
+            self.commands_rejected.add()
+            if command.completion is not None:
+                command.completion.succeed(self.env.now)
+            return
         segments = segment_rpc_write(command.length)
         fetch_queue = Stream(self.env)
         self.env.process(self.dma.read_stream(
@@ -715,7 +752,9 @@ class StromNic:
         responder.expected_psn = psn_add(packet.bth.psn, 1)
         opcode = packet.bth.opcode
         if is_first(opcode) or is_only(opcode):
-            kernel = self.registry.match(packet.reth.vaddr)
+            kernel, status = self.registry.resolve(packet.reth.vaddr)
+            if status != "match":
+                kernel = None  # missed or quarantined: drop the stream
             self._rpc_write_target[qp.qpn] = kernel
         kernel = self._rpc_write_target.get(qp.qpn)
         tail = is_last(opcode) or is_only(opcode)
@@ -732,30 +771,37 @@ class StromNic:
     def _rpc_write_feed(self, kernel, qpn: int, payload, tail: bool):
         # Arbitration into the kernel adds a few cycles (Section 5.1).
         yield self.env.timeout(self._arb_delay)
+        if kernel.guard is not None and kernel.guard.quarantined:
+            # Quarantined while the payload was in flight: drop it
+            # rather than grow an unconsumed input stream forever.
+            self.packets_dropped.add()
+            return
         # Kernels inspect their input: materialize forwarded views here.
         yield kernel.streams.roce_data_in.put((qpn, as_bytes(payload), tail))
 
     def _dispatch_rpc(self, qp, packet: RocePacket):
         rpc_opcode = packet.reth.vaddr
-        kernel = self.registry.match(rpc_opcode)
-        if kernel is not None:
+        kernel, status = self.registry.resolve(rpc_opcode)
+        if status == "match":
             yield self.env.timeout(self._arb_delay)
             yield kernel.streams.qpn_in.put(qp.qpn)
             yield kernel.streams.param_in.put(as_bytes(packet.payload))
             return
-        if self.registry.fallback is not None:
+        if status == "miss" and self.registry.fallback is not None:
             self.registry.fallbacks.add()
             self.env.process(self.registry.fallback(
                 qp.qpn, rpc_opcode, as_bytes(packet.payload)))
             return
-        # No kernel, no fallback: write an error code back to the
-        # requesting node (Section 5.1).
+        # No kernel / no fallback / quarantined kernel: write an error
+        # code back to the requesting node (Section 5.1).
+        error_code = RPC_ERROR_QUARANTINED if status == "quarantined" \
+            else RPC_ERROR_NO_KERNEL
         try:
             preamble = RpcPreamble.unpack(as_bytes(packet.payload))
         except ValueError:
             self.packets_dropped.add()
             return
-        error = RPC_ERROR_NO_KERNEL.to_bytes(8, "little")
+        error = rpc_error_bytes(error_code)
         self._post_send(NicCommand(
             kind="write", qpn=qp.qpn, raddr=preamble.response_vaddr,
             length=len(error), payload_inline=error))
@@ -935,10 +981,30 @@ class StromNic:
     # Kernel stream adapters (Figure 4 wiring)
     # ------------------------------------------------------------------
     def _kernel_dma_adapter(self, kernel: StromKernel):
-        """Serve the kernel's DMA command/data streams."""
+        """Serve the kernel's DMA command/data streams.
+
+        For hardened deployments every command is validated against the
+        kernel's protection domain *here*, before it reaches the DMA
+        engine — the kernel-side checks in the issue helpers are the
+        fast path, this adapter is the authoritative gate.  A violating
+        command is discarded (never forwarded to :mod:`repro.nic.dma`)
+        and the invocation is marked doomed; a blocked kernel is woken
+        with the abort sentinel."""
         sequential = getattr(kernel, "sequential_dma", True)
         while True:
             cmd: MemCmd = yield kernel.streams.dma_cmd_out.get()
+            guard = kernel.guard
+            epoch = guard.epoch if guard is not None else 0
+            if guard is not None \
+                    and not guard.admit_dma(cmd.vaddr, cmd.length,
+                                            cmd.is_write):
+                if cmd.is_write:
+                    yield kernel.streams.dma_data_out.get()  # discard
+                else:
+                    yield kernel.streams.dma_data_in.put(ABORT_SENTINEL)
+                continue
+            if guard is not None and self.check is not None:
+                self.check.on_kernel_dma(self, kernel, cmd)
             if cmd.is_write:
                 data = yield kernel.streams.dma_data_out.get()
                 if len(data) != cmd.length:
@@ -951,6 +1017,8 @@ class StromNic:
             else:
                 data = yield from self.dma.read(cmd.vaddr, cmd.length,
                                                 sequential=sequential)
+                if guard is not None and guard.epoch != epoch:
+                    continue  # invocation aborted mid-read: stale data
                 yield kernel.streams.dma_data_in.put(data)
 
     def _kernel_tx_adapter(self, kernel: StromKernel):

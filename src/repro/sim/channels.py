@@ -134,6 +134,34 @@ class Stream:
             raise LookupError(f"peek() on empty stream {self.name!r}")
         return self._items[0]
 
+    def clear(self) -> int:
+        """Discard every *queued* item; returns the count removed.
+
+        Only the FIFO contents are dropped — blocked getters stay
+        blocked and blocked putters are admitted into the freed
+        capacity, so callers other than the stream's sole consumer
+        must not use this.
+        """
+        dropped = len(self._items)
+        self._items.clear()
+        if self._putters:
+            self._admit_waiting_putter()
+        return dropped
+
+    def discard(self, item: Any) -> int:
+        """Remove every queued occurrence of ``item`` (identity
+        compare); returns the count removed.  Same caveats as
+        :meth:`clear`."""
+        items = self._items
+        kept = [x for x in items if x is not item]
+        dropped = len(items) - len(kept)
+        if dropped:
+            items.clear()
+            items.extend(kept)
+            if self._putters:
+                self._admit_waiting_putter()
+        return dropped
+
     # ------------------------------------------------------------------
     # Bulk operations
     # ------------------------------------------------------------------

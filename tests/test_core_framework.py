@@ -125,11 +125,17 @@ def test_custom_kernel_runs_through_streams():
     assert kernel.invocations == 1
 
 
-def test_kernel_run_must_be_overridden():
+def test_kernel_serve_must_be_overridden():
     from repro.sim import SimulationError
     env = Simulator()
     kernel = StromKernel(env, NIC_10G)
     kernel.start()
+
+    def invoke():
+        yield kernel.streams.qpn_in.put(1)
+        yield kernel.streams.param_in.put(b"\x00" * 16)
+
+    env.process(invoke())
     # The crash surfaces as an unhandled process failure.
     with pytest.raises(SimulationError):
         env.run()

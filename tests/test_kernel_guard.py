@@ -1,0 +1,426 @@
+"""Kernel-plane hardening: protection domains, watchdog budgets,
+quarantine, and the RPC error completions each produces end-to-end."""
+
+import pytest
+
+from repro.core import (
+    InvocationBudget,
+    KernelAbort,
+    KernelGuard,
+    ProtectionDomain,
+    RPC_ERROR_ABORTED,
+    RPC_ERROR_PROTECTION,
+    RPC_ERROR_QUARANTINED,
+    RPC_ERROR_TIMEOUT,
+    RpcOpcode,
+    is_rpc_error,
+)
+from repro.host import build_fabric
+from repro.kernels import PredicateOp, TraversalKernel, TraversalParams
+from repro.nic.controller import (
+    REG_RPC_MATCHES,
+    REG_RPC_MISSES,
+    REG_RPC_QUARANTINED,
+)
+from repro.sim import MS, US, Simulator
+
+
+def run_proc(env, gen, limit=50 * MS):
+    return env.run_until_complete(env.process(gen), limit=limit)
+
+
+def make_fabric():
+    env = Simulator()
+    return env, build_fabric(env)
+
+
+# ---------------------------------------------------------------------------
+# Unit: ProtectionDomain / InvocationBudget / KernelGuard
+# ---------------------------------------------------------------------------
+
+def test_protection_domain_permits():
+    pd = ProtectionDomain().allow(0x1000, 0x100).allow(
+        0x4000, 0x100, writable=True)
+    assert pd.permits(0x1000, 0x100, is_write=False)
+    assert pd.permits(0x1080, 0x80, is_write=False)
+    assert not pd.permits(0x1080, 0x81, is_write=False)   # spills out
+    assert not pd.permits(0xFFF, 0x10, is_write=False)    # starts before
+    assert not pd.permits(0x1000, 0x10, is_write=True)    # read-only
+    assert pd.permits(0x4000, 0x100, is_write=True)
+    assert not pd.permits(0x5000, 1, is_write=False)
+    assert not pd.permits(0x1000, 0, is_write=False)      # empty access
+
+
+def test_protection_domain_validation():
+    with pytest.raises(ValueError):
+        ProtectionDomain().allow(0x1000, 0)
+    with pytest.raises(ValueError):
+        ProtectionDomain().allow(-1, 64)
+
+
+def test_invocation_budget_validation():
+    with pytest.raises(ValueError):
+        InvocationBudget(deadline_ps=0)
+    with pytest.raises(ValueError):
+        InvocationBudget(dma_byte_quota=-1)
+    with pytest.raises(ValueError):
+        InvocationBudget(hop_limit=0)
+    with pytest.raises(ValueError):
+        KernelGuard(quarantine_threshold=0)
+
+
+def test_guard_dma_quota_aborts():
+    guard = KernelGuard(budget=InvocationBudget(dma_byte_quota=128))
+    guard.begin(0)
+    guard.charge_dma(0x0, 128, False, now=0)
+    with pytest.raises(KernelAbort) as exc:
+        guard.charge_dma(0x0, 1, False, now=0)
+    assert exc.value.code == RPC_ERROR_ABORTED
+
+
+def test_guard_hop_limit_and_cycle_detection():
+    guard = KernelGuard(budget=InvocationBudget(hop_limit=3))
+    guard.begin(0)
+    guard.note_hop(0x10)
+    with pytest.raises(KernelAbort) as exc:
+        guard.note_hop(0x10)  # revisit -> cycle
+    assert exc.value.code == RPC_ERROR_ABORTED
+
+    guard = KernelGuard(budget=InvocationBudget(
+        hop_limit=3, detect_cycles=False))
+    guard.begin(0)
+    for address in (0x10, 0x20, 0x10):  # revisits tolerated
+        guard.note_hop(address)
+    with pytest.raises(KernelAbort) as exc:
+        guard.note_hop(0x30)
+    assert exc.value.code == RPC_ERROR_TIMEOUT
+
+
+def test_guard_quarantine_latches_after_consecutive_aborts():
+    guard = KernelGuard(quarantine_threshold=3)
+    guard.begin(0)
+    guard.note_abort(RPC_ERROR_ABORTED)
+    guard.begin(0)
+    guard.note_abort(RPC_ERROR_TIMEOUT)
+    assert not guard.quarantined
+    guard.begin(0)
+    guard.finish()  # a clean completion resets the streak
+    assert guard.consecutive_aborts == 0
+    for _ in range(3):
+        guard.begin(0)
+        guard.note_abort(RPC_ERROR_PROTECTION)
+    assert guard.quarantined
+    assert guard.aborts == 5
+    assert guard.abort_counts[RPC_ERROR_PROTECTION] == 3
+
+
+# ---------------------------------------------------------------------------
+# End-to-end over the two-node fabric
+# ---------------------------------------------------------------------------
+
+def build_linked_list(server, keys, value_size=64):
+    """Figure 6 layout: key @ pos 0, next ptr @ pos 2, value ptr @ pos 4."""
+    elements = server.alloc(64 * (len(keys) + 1), "list")
+    values = server.alloc(value_size * (len(keys) + 1), "values")
+    addresses = [elements.vaddr + 64 * i for i in range(len(keys))]
+    for i, key in enumerate(keys):
+        value_addr = values.vaddr + value_size * i
+        server.space.write(value_addr, bytes([i + 1]) * value_size)
+        next_ptr = addresses[i + 1] if i + 1 < len(keys) else 0
+        element = (key.to_bytes(8, "little")
+                   + next_ptr.to_bytes(8, "little")
+                   + value_addr.to_bytes(8, "little"))
+        server.space.write(addresses[i], element.ljust(64, b"\x00"))
+    return elements, values, addresses
+
+
+def linked_list_params(response_vaddr, head, key, value_size=64):
+    return TraversalParams(
+        response_vaddr=response_vaddr, remote_address=head,
+        value_size=value_size, key=key, key_mask=1,
+        predicate_op=PredicateOp.EQUAL, value_ptr_position=4,
+        is_relative_position=False, next_element_ptr_position=2,
+        next_element_ptr_valid=True)
+
+
+def deploy_traversal(fabric, **kwargs):
+    env = fabric.env
+    kernel = TraversalKernel(env, fabric.server.nic.config)
+    fabric.server.nic.deploy_kernel(RpcOpcode.TRAVERSAL, kernel, **kwargs)
+    return kernel
+
+
+def lookup(fabric, response, head, key, wait_bytes=8):
+    params = linked_list_params(response.vaddr, head, key=key)
+    yield from fabric.client.post_rpc(
+        fabric.client_qpn, RpcOpcode.TRAVERSAL, params.pack())
+    yield from fabric.client.wait_for_data(response.vaddr, wait_bytes)
+    return int.from_bytes(
+        fabric.client.space.read(response.vaddr, 8), "little")
+
+
+def test_pointer_cycle_terminates_via_hop_limit_with_timeout():
+    """Acceptance: a pointer-cycle traversal terminates through the hop
+    limit and answers RPC_ERROR_TIMEOUT (cycle detection disabled, so
+    the hop watchdog is what fires)."""
+    env, fabric = make_fabric()
+    server, client = fabric.server, fabric.client
+    kernel = deploy_traversal(
+        fabric, budget=InvocationBudget(hop_limit=32, detect_cycles=False))
+    elements, _, addresses = build_linked_list(server, [10, 20, 30])
+    # Corrupt the tail's next pointer back to the head: a cycle.
+    server.space.write(addresses[-1] + 8,
+                       addresses[0].to_bytes(8, "little"))
+    response = client.alloc(4096, "resp")
+
+    head = run_proc(env, lookup(fabric, response, addresses[0], key=99))
+    assert head == RPC_ERROR_TIMEOUT
+    assert kernel.aborts == 1
+    assert kernel.elements_visited == 32  # bounded, not MAX_HOPS
+
+    # The kernel drained back to idle: a sane lookup still works.
+    value = run_proc(env, lookup(fabric, response, addresses[0], key=20,
+                                 wait_bytes=64))
+    assert not is_rpc_error(value)
+    assert client.space.read(response.vaddr, 64) == bytes([2]) * 64
+
+
+def test_pointer_cycle_detected_by_visited_set():
+    env, fabric = make_fabric()
+    server, client = fabric.server, fabric.client
+    kernel = deploy_traversal(
+        fabric, budget=InvocationBudget(hop_limit=1024))
+    _, _, addresses = build_linked_list(server, [10, 20, 30])
+    server.space.write(addresses[-1] + 8,
+                       addresses[0].to_bytes(8, "little"))
+    response = client.alloc(4096, "resp")
+
+    head = run_proc(env, lookup(fabric, response, addresses[0], key=99))
+    assert head == RPC_ERROR_ABORTED
+    # The revisit is caught on hop 4, long before the hop limit.
+    assert kernel.elements_visited == 3
+
+
+def test_out_of_pd_dma_aborts_with_protection_and_memory_intact():
+    """Acceptance: an out-of-PD DMA aborts with RPC_ERROR_PROTECTION
+    and leaves host memory byte-identical to pre-invocation."""
+    env, fabric = make_fabric()
+    server, client = fabric.server, fabric.client
+    secret = server.alloc(4096, "secret")
+    server.space.write(secret.vaddr, b"\xA5" * 4096)
+    elements, values, addresses = build_linked_list(server, [10, 20, 30])
+    # PD covers the list elements and values but NOT the secret region.
+    pd = (ProtectionDomain()
+          .allow(elements.vaddr, elements.nbytes)
+          .allow(values.vaddr, values.nbytes))
+    kernel = deploy_traversal(fabric, protection=pd)
+    # Corrupt element 20's value pointer into the secret region.
+    server.space.write(addresses[1] + 16,
+                       secret.vaddr.to_bytes(8, "little"))
+    response = client.alloc(4096, "resp")
+
+    snapshot = server.space.read(secret.vaddr, 4096) \
+        + server.space.read(elements.vaddr, elements.nbytes) \
+        + server.space.read(values.vaddr, values.nbytes)
+    head = run_proc(env, lookup(fabric, response, addresses[0], key=20))
+    assert head == RPC_ERROR_PROTECTION
+    assert kernel.aborts == 1
+    assert kernel.guard.abort_counts == {RPC_ERROR_PROTECTION: 1}
+    after = server.space.read(secret.vaddr, 4096) \
+        + server.space.read(elements.vaddr, elements.nbytes) \
+        + server.space.read(values.vaddr, values.nbytes)
+    assert after == snapshot  # nothing leaked, nothing corrupted
+
+    # In-PD lookups still serve normally afterwards.
+    value = run_proc(env, lookup(fabric, response, addresses[0], key=30,
+                                 wait_bytes=64))
+    assert not is_rpc_error(value)
+
+
+def test_stalled_kernel_hits_deadline_with_timeout():
+    """A stuck kernel stream (fault-injected stall) trips the sim-time
+    deadline watchdog."""
+    from repro.faults import FaultSchedule
+    env, fabric = make_fabric()
+    server, client = fabric.server, fabric.client
+    kernel = deploy_traversal(
+        fabric, budget=InvocationBudget(deadline_ps=50 * US))
+    _, _, addresses = build_linked_list(server, [10, 20, 30])
+    response = client.alloc(4096, "resp")
+
+    schedule = FaultSchedule(env, seed=3)
+    schedule.stall_kernel(0, kernel, duration=2 * MS)
+    schedule.start()
+
+    head = run_proc(env, lookup(fabric, response, addresses[0], key=10))
+    assert head == RPC_ERROR_TIMEOUT
+    assert kernel.aborts == 1
+
+    # After the stall window the kernel serves again.
+    value = run_proc(env, lookup(fabric, response, addresses[0], key=10,
+                                 wait_bytes=64))
+    assert not is_rpc_error(value)
+
+
+def test_quarantine_after_consecutive_aborts_and_register():
+    """Acceptance: after N consecutive aborts the kernel is quarantined;
+    subsequent RPCs are answered with RPC_ERROR_QUARANTINED at the NIC
+    without the kernel serving, and the controller register counts."""
+    env, fabric = make_fabric()
+    server, client = fabric.server, fabric.client
+    kernel = deploy_traversal(
+        fabric, budget=InvocationBudget(hop_limit=8),
+        quarantine_threshold=2)
+    _, _, addresses = build_linked_list(server, [10, 20, 30])
+    server.space.write(addresses[-1] + 8,
+                       addresses[0].to_bytes(8, "little"))
+    response = client.alloc(4096, "resp")
+
+    controller = server.nic.controller
+    for _ in range(2):
+        head = run_proc(env, lookup(fabric, response, addresses[0], key=99))
+        assert head == RPC_ERROR_ABORTED
+    assert kernel.guard.quarantined
+    served_before = kernel.invocations
+
+    head = run_proc(env, lookup(fabric, response, addresses[0], key=10))
+    assert head == RPC_ERROR_QUARANTINED
+    assert kernel.invocations == served_before  # never reached the kernel
+    assert controller.read_register(REG_RPC_QUARANTINED) == 1
+    assert controller.read_register(REG_RPC_MATCHES) == 2
+    assert controller.read_register(REG_RPC_MISSES) == 0
+
+
+def test_quarantined_local_rpc_writes_error():
+    env, fabric = make_fabric()
+    server = fabric.server
+    kernel = deploy_traversal(fabric, budget=InvocationBudget(hop_limit=8))
+    kernel.guard.quarantined = True
+    response = server.alloc(4096, "local_resp")
+    params = linked_list_params(response.vaddr, head=0x1000, key=1)
+
+    run_proc(env, server.post_local_rpc(RpcOpcode.TRAVERSAL,
+                                        params.pack()))
+    env.run()
+    head = int.from_bytes(server.space.read(response.vaddr, 8), "little")
+    assert head == RPC_ERROR_QUARANTINED
+
+
+def test_rpc_registers_across_matched_missed_quarantined():
+    """REG_RPC_MATCHES / REG_RPC_MISSES / REG_RPC_QUARANTINED count the
+    three resolve outcomes; the debugfs snapshot carries all three."""
+    from repro.core import RPC_ERROR_NO_KERNEL
+
+    env, fabric = make_fabric()
+    server, client = fabric.server, fabric.client
+    kernel = deploy_traversal(fabric, budget=InvocationBudget(hop_limit=8))
+    _, _, addresses = build_linked_list(server, [10, 20])
+    response = client.alloc(4096, "resp")
+    controller = server.nic.controller
+
+    # Matched invocation.
+    value = run_proc(env, lookup(fabric, response, addresses[0], key=10,
+                                 wait_bytes=64))
+    assert not is_rpc_error(value)
+    # Missed invocation: no kernel registered for CONSISTENCY.
+    head = run_proc(env, (yield_error_probe(fabric, response)))
+    assert head == RPC_ERROR_NO_KERNEL
+    # Quarantined invocation.
+    kernel.guard.quarantined = True
+    head = run_proc(env, lookup(fabric, response, addresses[0], key=10))
+    assert head == RPC_ERROR_QUARANTINED
+
+    assert controller.read_register(REG_RPC_MATCHES) == 1
+    assert controller.read_register(REG_RPC_MISSES) == 1
+    assert controller.read_register(REG_RPC_QUARANTINED) == 1
+    snapshot = controller.snapshot()
+    assert snapshot["rpc_matches"] == 1
+    assert snapshot["rpc_misses"] == 1
+    assert snapshot["rpc_quarantined"] == 1
+
+
+def yield_error_probe(fabric, response):
+    """Post an RPC for an opcode with no kernel deployed."""
+    params = linked_list_params(response.vaddr, head=0x1000, key=1)
+    yield from fabric.client.post_rpc(
+        fabric.client_qpn, RpcOpcode.CONSISTENCY, params.pack())
+    yield from fabric.client.wait_for_data(response.vaddr, 8)
+    return int.from_bytes(
+        fabric.client.space.read(response.vaddr, 8), "little")
+
+
+def test_guard_off_deployment_has_no_guard():
+    env, fabric = make_fabric()
+    kernel = deploy_traversal(fabric)
+    assert kernel.guard is None
+
+
+# ---------------------------------------------------------------------------
+# Sharded-KV failover away from a quarantined kernel
+# ---------------------------------------------------------------------------
+
+def test_sharded_kv_fails_over_from_quarantined_kernel():
+    """Acceptance: a quarantined kernel's sharded-KV traffic fails over
+    to the READ path with zero failed client requests."""
+    from repro.cluster import (ShardedKvClient, ShardedKvService,
+                               build_star, populate)
+    from repro.kernels.traversal import ELEMENT_BYTES
+
+    env = Simulator()
+    cluster = build_star(env, num_hosts=3, seed=11)
+    servers = cluster.hosts[:2]
+    service = ShardedKvService(
+        cluster, servers, kernel_protection=True,
+        kernel_budget=InvocationBudget(hop_limit=64),
+        quarantine_threshold=2)
+    populate(service, num_keys=32, value_bytes=64)
+    client = ShardedKvClient(cluster, service, cluster.hosts[2], seed=7)
+
+    # Plant a self-cycling poison element inside shard 0's values
+    # region (covered by the PD, so traversal chases it to the cycle).
+    shard = service.shards[0]
+    poison = shard.values.vaddr + shard.values.nbytes - ELEMENT_BYTES
+    element = ((0xBAD).to_bytes(8, "little")
+               + poison.to_bytes(8, "little"))
+    shard.node.space.write(poison, element.ljust(ELEMENT_BYTES, b"\x00"))
+    attacker_resp = cluster.hosts[2].alloc(64, "atk_resp")
+
+    def attack():
+        params = TraversalParams(
+            response_vaddr=attacker_resp.vaddr, remote_address=poison,
+            value_size=8, key=1, key_mask=1,
+            predicate_op=PredicateOp.EQUAL, value_ptr_position=4,
+            is_relative_position=False, next_element_ptr_position=2,
+            next_element_ptr_valid=True)
+        connection = yield from client._lease(0)
+        try:
+            for _ in range(2):
+                yield from connection.fabric.client.post_rpc(
+                    connection.fabric.client_qpn, RpcOpcode.TRAVERSAL,
+                    params.pack())
+                yield from connection.fabric.client.wait_for_data(
+                    attacker_resp.vaddr, 8)
+        finally:
+            client._release(0, connection)
+
+    run_proc(env, attack())
+    assert service.kernels[0].guard.quarantined
+
+    def workload():
+        results = []
+        for key in range(1, 33):
+            result = yield from client.get(key, path="strom",
+                                           value_size=64)
+            results.append(result)
+        return results
+
+    results = run_proc(env, workload(), limit=500 * MS)
+    # Every GET answered correctly: quarantine degraded latency, not
+    # availability, and no request failed.
+    from repro.cluster.workload import value_for_key
+    for key, result in zip(range(1, 33), results):
+        assert result.value == value_for_key(key, 64)
+    assert int(client.strom_fallbacks) > 0
+    assert int(client.unavailable) == 0
+    # Shard 1's kernel is untouched and still serves strom GETs.
+    assert not service.kernels[1].guard.quarantined

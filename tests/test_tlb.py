@@ -1,0 +1,102 @@
+"""Direct unit tests of the NIC TLB (Section 4.2): translation,
+page-boundary command splitting, capacity and driver-path validation."""
+
+import pytest
+
+from repro.config import NIC_10G
+from repro.nic.tlb import Tlb, TlbMissError
+
+
+def make_tlb():
+    config = NIC_10G
+    return Tlb(config), config
+
+
+def test_translate_hit_and_offset():
+    tlb, config = make_tlb()
+    page = config.page_bytes
+    tlb.populate(3, 7 * page)
+    assert tlb.translate(3 * page) == 7 * page
+    assert tlb.translate(3 * page + 12345) == 7 * page + 12345
+    assert tlb.lookups == 2
+
+
+def test_translate_miss_raises():
+    tlb, config = make_tlb()
+    tlb.populate(0, 0)
+    with pytest.raises(TlbMissError):
+        tlb.translate(config.page_bytes)  # vpn 1 never pinned
+    assert tlb.lookups == 1
+
+
+def test_populate_validation():
+    tlb, config = make_tlb()
+    with pytest.raises(ValueError):
+        tlb.populate(0, config.page_bytes // 2)  # unaligned base
+    with pytest.raises(ValueError):
+        tlb.populate(0, 1 << 48)  # beyond 48-bit physical space
+
+
+def test_capacity_full_rejects_new_vpn_but_allows_update():
+    tlb, config = make_tlb()
+    page = config.page_bytes
+    for vpn in range(tlb.capacity):
+        tlb.populate(vpn, vpn * page)
+    with pytest.raises(ValueError):
+        tlb.populate(tlb.capacity, 0)
+    # Re-mapping an existing vpn is not a capacity violation.
+    tlb.populate(0, 5 * page)
+    assert tlb.translate(0) == 5 * page
+
+
+def test_addressable_bytes_tracks_entries():
+    tlb, config = make_tlb()
+    page = config.page_bytes
+    assert tlb.addressable_bytes == 0
+    tlb.populate_from({0: 0, 1: page, 2: 2 * page})
+    assert len(tlb) == 3
+    assert tlb.addressable_bytes == 3 * page
+
+
+def test_split_command_within_one_page_never_splits():
+    tlb, config = make_tlb()
+    page = config.page_bytes
+    tlb.populate(0, 4 * page)
+    pieces = list(tlb.split_command(64, 4096))
+    assert pieces == [(4 * page + 64, 4096)]
+    assert tlb.splits == 0
+
+
+def test_split_command_straddles_page_boundaries():
+    """A command crossing N boundaries yields N+1 pieces, none of which
+    crosses a page, and physically discontiguous pages stay split."""
+    tlb, config = make_tlb()
+    page = config.page_bytes
+    # Virtually contiguous, physically scattered pages.
+    tlb.populate_from({0: 10 * page, 1: 3 * page, 2: 8 * page})
+    start = page - 100
+    pieces = list(tlb.split_command(start, 100 + page + 50))
+    assert pieces == [
+        (10 * page + start, 100),
+        (3 * page, page),
+        (8 * page, 50),
+    ]
+    assert sum(length for _, length in pieces) == 100 + page + 50
+    assert tlb.splits == 2
+
+
+def test_split_command_rejects_empty_dma():
+    tlb, _ = make_tlb()
+    with pytest.raises(ValueError):
+        list(tlb.split_command(0, 0))
+
+
+def test_split_command_miss_mid_stream():
+    """A split reaching an unpinned page raises on that piece."""
+    tlb, config = make_tlb()
+    page = config.page_bytes
+    tlb.populate(0, 0)  # page 1 missing
+    pieces = tlb.split_command(page - 64, 128)
+    assert next(pieces) == (page - 64, 64)
+    with pytest.raises(TlbMissError):
+        next(pieces)
