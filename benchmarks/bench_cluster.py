@@ -102,47 +102,70 @@ def run_large_point(mode: str) -> dict:
     """Large-message point for the zero-copy payload plane: 256 KiB
     WRITEs then READs between two 100 G hosts through the switch.
 
+    The point runs twice — per-packet, then with the burst fast path
+    folding the switch leg — and the simulated timestamps must be
+    bit-identical between the two (the fold's correctness contract).
     The simulated per-direction goodput is deterministic and gated like
-    ``achieved_kops``; the wall-clock payload rate and the payload-plane
-    copy counter are reported (the clean path must copy zero bytes)."""
+    ``achieved_kops``; the wall-clock payload rates of both runs and
+    the payload-plane copy counter are reported (the clean path must
+    copy zero bytes and the folded run must actually fold)."""
     from repro.config import NIC_100G
     from repro.core.payload import PAYLOAD_STATS
     from repro.cluster.topology import build_star
+    from repro.obs import registry_for
+    from repro.roce import burst
     from repro.sim import Simulator
 
     reps = LARGE_REPS[mode]
-    env = Simulator()
-    cluster = build_star(env, 2, nic_config=NIC_100G, seed=1)
-    a, b = cluster.hosts
-    qpn_a, _ = cluster.connect(a, b)
-    src = a.alloc(LARGE_SIZE, "src")
-    dst = b.alloc(LARGE_SIZE, "dst")
-    a.space.write(src.vaddr, bytes(i % 251 for i in range(LARGE_SIZE)))
-    marks = {}
 
-    def driver():
-        for _ in range(reps):
-            yield from a.write_sync(qpn_a, src.vaddr, dst.vaddr,
-                                    LARGE_SIZE)
-        marks["write_ps"] = env.now
-        for _ in range(reps):
-            yield from a.read_sync(qpn_a, src.vaddr, dst.vaddr,
-                                   LARGE_SIZE)
-        marks["read_ps"] = env.now - marks["write_ps"]
+    def execute(fold: bool) -> dict:
+        env = Simulator()
+        burst.set_burst_mode(env, fold)
+        cluster = build_star(env, 2, nic_config=NIC_100G, seed=1)
+        a, b = cluster.hosts
+        qpn_a, _ = cluster.connect(a, b)
+        src = a.alloc(LARGE_SIZE, "src")
+        dst = b.alloc(LARGE_SIZE, "dst")
+        a.space.write(src.vaddr,
+                      bytes(i % 251 for i in range(LARGE_SIZE)))
+        marks = {}
 
-    proc = env.process(driver())
-    before = PAYLOAD_STATS.snapshot()
-    start = time.perf_counter()
-    env.run_until_complete(proc, limit=1_000 * MS)
-    wall = time.perf_counter() - start
-    after = PAYLOAD_STATS.snapshot()
+        def driver():
+            for _ in range(reps):
+                yield from a.write_sync(qpn_a, src.vaddr, dst.vaddr,
+                                        LARGE_SIZE)
+            marks["write_ps"] = env.now
+            for _ in range(reps):
+                yield from a.read_sync(qpn_a, src.vaddr, dst.vaddr,
+                                       LARGE_SIZE)
+            marks["read_ps"] = env.now - marks["write_ps"]
+
+        proc = env.process(driver())
+        before = PAYLOAD_STATS.snapshot()
+        start = time.perf_counter()
+        env.run_until_complete(proc, limit=1_000 * MS)
+        marks["wall"] = time.perf_counter() - start
+        after = PAYLOAD_STATS.snapshot()
+        marks["copied"] = after["bytes_copied"] - before["bytes_copied"]
+        flat = registry_for(env).snapshot().as_flat_dict()
+        marks["folded"] = sum(v for k, v in flat.items()
+                              if k.endswith(".burst.folded_packets"))
+        return marks
+
+    plain = execute(False)
+    folded = execute(True)
     moved = 2 * reps * LARGE_SIZE
     return {
-        "write_gbps": 8e12 * reps * LARGE_SIZE / marks["write_ps"] / 1e9,
-        "read_gbps": 8e12 * reps * LARGE_SIZE / marks["read_ps"] / 1e9,
-        "wall_mb_s": moved / wall / 1e6,
-        "copied_bytes": after["bytes_copied"] - before["bytes_copied"],
-        "wall_s": round(wall, 3),
+        "write_gbps": 8e12 * reps * LARGE_SIZE / plain["write_ps"] / 1e9,
+        "read_gbps": 8e12 * reps * LARGE_SIZE / plain["read_ps"] / 1e9,
+        "wall_mb_s": moved / plain["wall"] / 1e6,
+        "burst_wall_mb_s": moved / folded["wall"] / 1e6,
+        "burst_folded_packets": folded["folded"],
+        "burst_identical": int(
+            plain["write_ps"] == folded["write_ps"]
+            and plain["read_ps"] == folded["read_ps"]),
+        "copied_bytes": plain["copied"] + folded["copied"],
+        "wall_s": round(plain["wall"] + folded["wall"], 3),
     }
 
 
@@ -206,6 +229,14 @@ def check_large(measured: dict, base: dict, threshold: float) -> list:
         failures.append(
             f"clean path copied {measured['copied_bytes']} payload bytes "
             f"(expected 0: every hop must forward by reference)")
+    if not measured["burst_identical"]:
+        failures.append(
+            "burst fast path changed simulated timestamps "
+            "(folded and per-packet runs must be bit-identical)")
+    if not measured["burst_folded_packets"]:
+        failures.append(
+            "burst fast path folded zero packets on the clean "
+            "switch-leg path (expected the 256 KiB messages to fold)")
     return failures
 
 

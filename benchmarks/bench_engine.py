@@ -173,12 +173,17 @@ def pingpong_obs_on(n: int) -> float:
         return _instrumented_pingpong(n)
 
 
-def _rdma_large(n: int, kind: str) -> float:
+def _rdma_large(n: int, kind: str, fold: bool = False) -> float:
     """End-to-end 256 KiB verbs on the 100 G two-node fabric; returns
     payload bytes per wall-second (``n`` only scales the repeat count).
-    The per-scenario payload-plane delta is captured for the report."""
+    The per-scenario payload-plane delta and events-per-simulated-byte
+    are captured for the report.  ``fold`` forces the burst fast path
+    on (off otherwise, regardless of the ``REPRO_BURST`` environment,
+    so the pair measures the fold speedup on equal footing)."""
+    from repro.roce import burst
     reps = 16 if n <= 64_000 else 40
     sim = Simulator()
+    burst.set_burst_mode(sim, fold)
     fabric = build_fabric(sim, nic_config=NIC_100G)
     src = fabric.client.alloc(RDMA_SIZE, "src")
     dst = fabric.server.alloc(RDMA_SIZE, "dst")
@@ -204,14 +209,27 @@ def _rdma_large(n: int, kind: str) -> float:
     sim.run_until_complete(proc, limit=10_000 * MS)
     rate = RDMA_SIZE * reps / (time.perf_counter() - start)
     after = PAYLOAD_STATS.snapshot()
-    PAYLOAD_DELTAS[f"rdma_{kind}_256k"] = {
+    name = f"rdma_{kind}_256k" + ("_burst" if fold else "")
+    PAYLOAD_DELTAS[name] = {
         key: after[key] - before[key] for key in after}
+    flat = registry_for(sim).snapshot().as_flat_dict()
+    EVENT_COSTS[name] = {
+        "events_per_kib":
+            sim.events_created * 1024 / (RDMA_SIZE * reps),
+        "folded_packets": sum(
+            v for k, v in flat.items()
+            if k.endswith(".burst.folded_packets")),
+    }
     return rate
 
 
 #: Per-scenario payload-plane counter deltas (filled by the rdma
 #: scenarios, printed after the table).
 PAYLOAD_DELTAS = {}
+
+#: Per-scenario scheduler-event cost (events per simulated KiB) and
+#: fold engagement, filled by the rdma scenarios.
+EVENT_COSTS = {}
 
 
 def rdma_write_256k(n: int) -> float:
@@ -222,6 +240,14 @@ def rdma_read_256k(n: int) -> float:
     return _rdma_large(n, "read")
 
 
+def rdma_write_256k_burst(n: int) -> float:
+    return _rdma_large(n, "write", fold=True)
+
+
+def rdma_read_256k_burst(n: int) -> float:
+    return _rdma_large(n, "read", fold=True)
+
+
 SCENARIOS = {
     "timeout_loop": timeout_loop,
     "stream_pingpong": stream_pingpong,
@@ -230,6 +256,8 @@ SCENARIOS = {
     "pingpong_obs_on": pingpong_obs_on,
     "rdma_write_256k": rdma_write_256k,
     "rdma_read_256k": rdma_read_256k,
+    "rdma_write_256k_burst": rdma_write_256k_burst,
+    "rdma_read_256k_burst": rdma_read_256k_burst,
 }
 
 
@@ -301,6 +329,27 @@ def main(argv=None) -> int:
               f"({delta['copy_events']} events), "
               f"{delta['bytes_referenced']:,} B by reference "
               f"({delta['ref_events']} events)")
+    for name, cost in EVENT_COSTS.items():
+        print(f"event cost [{name}]: {cost['events_per_kib']:.2f} "
+              f"events/KiB, folded_packets={cost['folded_packets']:,}")
+    # Burst fast-path acceptance: the folded datapath must actually
+    # fold, copy nothing, and beat the per-packet run by >= 1.5x on the
+    # same machine in the same invocation.
+    for kind in ("write", "read"):
+        plain_name = f"rdma_{kind}_256k"
+        burst_name = f"{plain_name}_burst"
+        speedup = results[burst_name] / results[plain_name]
+        print(f"burst 256 KiB {kind} vs per-packet: {speedup:.2f}x")
+        if EVENT_COSTS[burst_name]["folded_packets"] == 0:
+            failed.append((f"{burst_name} (no folds)",
+                           0, results[plain_name]))
+        if PAYLOAD_DELTAS[burst_name]["bytes_copied"] != 0:
+            failed.append((f"{burst_name} (copied bytes on the clean "
+                           f"path)", 0, results[plain_name]))
+        if speedup < 1.5:
+            failed.append((f"{burst_name} (< 1.5x over per-packet)",
+                           results[burst_name],
+                           results[plain_name] * 1.5))
 
     # In-run overhead guard: the disabled-mode hooks must cost less than
     # --obs-threshold of the bare engine loop measured this same run

@@ -36,11 +36,16 @@ from typing import Dict, List, Optional
 from ..algos.hashing import fnv1a64
 from ..core.payload import copy_validation
 from ..sim import SEC, SimulationError, Simulator
-from .monitors import InvariantViolation, install_monitors
+from .monitors import (InvariantViolation, install_monitors,
+                       monitors_enabled_by_env)
 
 #: Sizes exercising every packetizer shape: sub-header, exactly one MTU,
 #: first/last, first/middle/last, and large multi-packet messages.
 _RAW_SIZES = (1, 17, 256, 1024, 1500, 2048, 4096, 9000, 16384)
+
+#: Burst-equivalence sizes: straddle the fold threshold from both sides
+#: and include messages long enough that an interferer lands mid-flight.
+_BURST_SIZES = (256, 2048, 4096, 9000, 16384, 65536, 262144)
 
 #: Wedge guard for one run; generous — conformance runs are tiny.
 _RUN_LIMIT = 4 * SEC
@@ -159,6 +164,110 @@ def _run_raw(env: Simulator, rng: random.Random, run_seed: int,
             "writes": stats["writes"], "reads": stats["reads"],
             "aborted": stats["aborted"],
             "faulty_link": int(faults is not None)}
+
+
+# ---------------------------------------------------------------------------
+# Burst fast-path equivalence scenario (dual run, forced on vs off)
+# ---------------------------------------------------------------------------
+
+def _run_burst(rng: random.Random, run_seed: int,
+               replay: str) -> Dict[str, int]:
+    """The same seeded verb mix executed twice — burst folding forced
+    off, then on — on fresh simulators *without* monitors (an installed
+    checker legitimately disables folding).  Completion timestamps, end
+    memory, and every non-burst metric must be bit-identical, and the
+    folding run must actually fold.  Half the mixes inject a reverse
+    WRITE mid-flight so the unfold path is exercised too.  Because both
+    modes run internally, the row is byte-identical regardless of the
+    ``REPRO_BURST`` environment."""
+    from ..cluster.topology import build_pair
+    from ..config import NIC_100G
+    from ..obs.runtime import registry_for
+    from ..roce import burst
+    from ..sim.timebase import US
+
+    region_bytes = max(_BURST_SIZES)
+    num_ops = rng.randrange(4, 9)
+    ops = [(rng.choice(("write", "write", "read")),
+            rng.choice(_BURST_SIZES)) for _ in range(num_ops)]
+    local_seed = rng.randbytes(region_bytes)
+    remote_seed = rng.randbytes(region_bytes)
+    back_data = rng.randbytes(2048)
+    interfere_at = rng.randrange(2, 30) * US if rng.random() < 0.5 \
+        else None
+
+    def execute(fold_on: bool):
+        env = Simulator()
+        burst.set_burst_mode(env, fold_on)
+        cluster = build_pair(env, nic_config=NIC_100G, seed=run_seed)
+        client, server = cluster.hosts
+        local = client.alloc(region_bytes, "burst_local")
+        remote = server.alloc(region_bytes, "burst_remote")
+        back = server.alloc(2048, "burst_back")
+        echo = client.alloc(2048, "burst_echo")
+        client.space.write(local.vaddr, local_seed)
+        server.space.write(remote.vaddr, remote_seed)
+        server.space.write(back.vaddr, back_data)
+        times = []
+
+        def driver():
+            for verb, size in ops:
+                if verb == "write":
+                    yield from client.write_sync(
+                        1, local.vaddr, remote.vaddr, size)
+                else:
+                    yield from client.read_sync(
+                        1, local.vaddr, remote.vaddr, size)
+                times.append(env.now)
+
+        def interferer():
+            yield env.timeout(interfere_at)
+            yield from server.write_sync(1, back.vaddr, echo.vaddr, 2048)
+
+        if interfere_at is not None:
+            env.process(interferer())
+        env.run_until_complete(env.process(driver()), limit=_RUN_LIMIT)
+        env.run()
+        flat = registry_for(env).snapshot().as_flat_dict()
+        metrics = {k: v for k, v in flat.items() if ".burst." not in k}
+        folds = sum(v for k, v in flat.items()
+                    if k.endswith(".burst.folds"))
+        unfolds = sum(v for k, v in flat.items()
+                      if k.endswith(".burst.unfolds"))
+        memory = (bytes(client.space.read(local.vaddr, region_bytes)),
+                  bytes(server.space.read(remote.vaddr, region_bytes)),
+                  bytes(client.space.read(echo.vaddr, 2048)))
+        return times, memory, metrics, folds, unfolds, env.now
+
+    times_off, mem_off, met_off, _, _, end_off = execute(False)
+    times_on, mem_on, met_on, folds, unfolds, end_on = execute(True)
+
+    failures: List[str] = []
+    if times_off != times_on or end_off != end_on:
+        failures.append(
+            "completion timestamps diverged between per-packet and "
+            "folded execution")
+    if mem_off != mem_on:
+        failures.append("end memory diverged between per-packet and "
+                        "folded execution")
+    if met_off != met_on:
+        key = next(k for k in sorted(set(met_off) | set(met_on))
+                   if met_off.get(k) != met_on.get(k))
+        failures.append(
+            f"metric {key} diverged between per-packet and folded "
+            f"execution ({met_off.get(key)} vs {met_on.get(key)})")
+    if folds == 0 and not monitors_enabled_by_env():
+        # Under a global REPRO_CHECK=1 every simulator carries a checker
+        # and the burst plane correctly refuses to fold; the dual run is
+        # then per-packet vs per-packet, still a valid determinism check.
+        failures.append("folding never engaged on a multi-packet mix")
+    if failures:
+        raise ConformanceError("; ".join(failures), run_seed, replay)
+    return {"scenario": "burst", "ops": num_ops,
+            "checks": 3 + len(times_on), "violations": 0,
+            "folds": folds, "unfolds": unfolds,
+            "interfered": int(interfere_at is not None),
+            "end_ps": end_on}
 
 
 # ---------------------------------------------------------------------------
@@ -412,11 +521,20 @@ def run_one(base_seed: int, index: int) -> Dict[str, int]:
     run_seed = derive_run_seed(base_seed, index)
     replay = replay_command(base_seed, index)
     rng = random.Random(run_seed)
+    roll = rng.random()
+    if roll < 0.15:
+        # Burst-equivalence runs drive their own pair of simulators
+        # (folding must engage, so no monitors on these).
+        with copy_validation(True):
+            row = _run_burst(rng, run_seed, replay)
+        row.update(run=index, seed=run_seed)
+        return row
     env = Simulator()
     checker = install_monitors(env, seed=run_seed, replay=replay)
     try:
         with copy_validation(True):
-            if rng.random() < 0.4:
+            # Preserve the original 40/60 raw/kv split over the rest.
+            if roll < 0.49:
                 row = _run_raw(env, rng, run_seed, replay, checker)
             else:
                 row = _run_kv(env, rng, run_seed, replay, checker)

@@ -60,6 +60,17 @@ Invariant catalog (the hook that enforces each):
 
 Every violation raises :class:`InvariantViolation` carrying the fault
 seed, the simulated time, and a replay command line.
+
+Monitors and the burst fast path are mutually exclusive by design:
+these checks hook every per-packet TX/RX edge, so a folded message
+would be invisible to them.  Installing a checker sets ``nic.check``
+(and ``switch.check``), which the burst plane (``repro.roce.burst``)
+treats as a slow-path condition — folding is refused on any NIC or
+switch with a checker attached, and the ``REPRO_CHECK=1`` tier-1 leg
+therefore exercises the pure per-packet schedule.  Burst correctness
+has its own dedicated leg instead: ``REPRO_BURST_VALIDATE=1`` runs the
+per-packet shadow schedule beside every fold and asserts bit-identical
+timestamps.
 """
 
 from __future__ import annotations

@@ -89,9 +89,21 @@ class SwitchPort:
         self.index = index
         self.cable = cable
         self.name = name
+        #: Back-reference installed by :meth:`Switch.attach` (burst-fold
+        #: path discovery walks cable -> port -> switch).
+        self.switch: Optional["Switch"] = None
         #: False while the port is blacked out (fault injection): frames
         #: in either direction are discarded at the port.
         self.up = True
+        #: Busy-until cursors for the two per-port loops.  Maintained by
+        #: the loops themselves (pickup/dequeue may not begin before the
+        #: previous frame's forwarding-latency / pacing window ends) and
+        #: *written forward* by a burst unfold so replayed frames resume
+        #: mid-pipeline at exactly the per-packet times (see
+        #: repro.roce.burst).  In normal operation the floor equals the
+        #: loop's natural resume time, so the wait never fires.
+        self._ingress_floor = 0
+        self._egress_floor = 0
         #: Bounded output queue: ``try_put`` failure == tail-drop.
         self.queue = Stream(env, capacity=config.buffer_frames,
                             name=f"{name}.q")
@@ -129,6 +141,10 @@ class Switch:
         self.name = name
         self.ports: List[SwitchPort] = []
         self._mac_table: Dict[bytes, int] = {}
+        #: Burst flights folded across this switch; any real frame
+        #: entering the switch (or a port/ECN state change) unfolds them
+        #: before it can interleave (see repro.roce.burst).
+        self._pending: List = []
         self.fabric: Optional[BandwidthLink] = None
         if config.fabric_bps is not None:
             self.fabric = BandwidthLink(env, config.fabric_bps,
@@ -160,6 +176,8 @@ class Switch:
         index = len(self.ports)
         port = SwitchPort(self.env, index, cable, side, self.config,
                           name=f"{self.name}.p{index}")
+        port.switch = self
+        cable._switch_ports[side] = port
         self.ports.append(port)
         self.env.process(self._ingress_loop(port))
         self.env.process(self._egress_loop(port))
@@ -187,7 +205,19 @@ class Switch:
     def enable_ecn(self, config: EcnConfig) -> None:
         """Turn on ECN marking after construction (the cluster-level
         ``enable_congestion_control`` path for already-built fabrics)."""
+        self._unfold_pending()
         self.ecn_marker = EcnMarker(config)
+
+    def _unfold_pending(self) -> None:
+        """Unfold every burst flight folded across this switch (a real
+        frame or a state change is about to interleave)."""
+        while self._pending:
+            flight = self._pending[-1]
+            flight.unfold()
+            if self._pending and self._pending[-1] is flight:
+                # unfold() deregisters itself; belt-and-braces against a
+                # stale entry wedging the loop.
+                self._pending.pop()
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -201,6 +231,7 @@ class Switch:
             raise ValueError(f"no such port {port_index}")
         port = self.ports[port_index]
         if port.up != up:
+            self._unfold_pending()
             if self.trace is not None:
                 self.trace.record(port.name,
                                   "port_up" if up else "port_blackout")
@@ -220,12 +251,24 @@ class Switch:
         through untouched; only ``wire_bytes`` is ever read."""
         while True:
             packet = yield port.rx.get()
+            if self._pending:
+                # A real frame must never interleave with an analytic
+                # burst schedule: push pending flights back to the
+                # per-packet machinery first.
+                self._unfold_pending()
+            if port._ingress_floor > self.env.now:
+                # An unfold re-injected frames mid-pipeline: pickup may
+                # not begin before the replayed backlog clears.
+                yield self.env.timeout(
+                    port._ingress_floor - self.env.now)
             if not port.up:
                 port.blackout_drops.add()
                 self.frames_dropped.add()
                 continue
             port.frames_in.add()
             self.learn(mac_for_ip(packet.src_ip), port.index)
+            port._ingress_floor = \
+                self.env.now + self.config.forwarding_latency
             yield self.env.timeout(self.config.forwarding_latency)
             out = self._mac_table.get(mac_for_ip(packet.dst_ip))
             if out == port.index:
@@ -277,6 +320,11 @@ class Switch:
         rate = port.cable.bits_per_second
         while True:
             packet = yield port.queue.get()
+            if port._egress_floor > self.env.now:
+                # An unfold handed frames back mid-drain: dequeue may
+                # not begin before the analytic pacing window ends.
+                yield self.env.timeout(
+                    port._egress_floor - self.env.now)
             if self.check is not None:
                 self.check.on_switch_dequeue(self, port, packet)
             if self.trace is not None and port._span_queue:
@@ -293,5 +341,6 @@ class Switch:
             # Hand the frame straight to the cable (same instant a
             # tx-stream put would have reached the pump).
             port.cable.send(port.side, packet)
-            yield self.env.timeout(
-                timebase.transfer_time_ps(packet.wire_bytes, rate))
+            pacing = timebase.transfer_time_ps(packet.wire_bytes, rate)
+            port._egress_floor = self.env.now + pacing
+            yield self.env.timeout(pacing)

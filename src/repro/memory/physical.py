@@ -37,6 +37,13 @@ class PhysicalMemory:
         self._pages: Dict[int, bytearray] = {}
         # Shared zero page backing views of never-materialized memory.
         self._zeros: Optional[bytes] = None
+        #: While a burst flight is folded over views of this memory, any
+        #: store must call the guard first: per-packet commits deref the
+        #: live source at each packet's landing time, so a mid-flight
+        #: mutation forces the flight back to per-packet commit times
+        #: (see repro.roce.burst).  None outside a fold — one truthiness
+        #: check per store.
+        self.store_guard = None
 
     @property
     def num_materialized_pages(self) -> int:
@@ -150,6 +157,8 @@ class PhysicalMemory:
         Slice-assigns straight into the pages: passing a memoryview
         stages no intermediate copy.
         """
+        if self.store_guard is not None:
+            self.store_guard()
         self._check_range(address, len(data))
         cursor = address
         view = memoryview(data)

@@ -148,6 +148,11 @@ class DmaEngine:
         self.payload_copy_bytes = metrics.counter(
             f"{name}.payload_copy_bytes")
         self._watches: List[Tuple[int, int, Event]] = []
+        #: While a burst flight has this engine's write lane eagerly
+        #: reserved, any competing write/watch must call the guard first
+        #: so the flight unfolds (or flushes) before the newcomer
+        #: observes lane or memory state (see repro.roce.burst).
+        self.burst_guard: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # Link accounting helpers
@@ -377,6 +382,8 @@ class DmaEngine:
         the destination pages by scatter-gather slice assignment — no
         staging copy anywhere on the path.
         """
+        if self.burst_guard is not None:
+            self.burst_guard()
         length = len(data)
         if not length:
             return
@@ -406,6 +413,8 @@ class DmaEngine:
         process.  ``on_done`` (if given) runs right after the data lands,
         at the exact time a ``yield from write(...)`` caller would have
         resumed."""
+        if self.burst_guard is not None:
+            self.burst_guard()
         length = len(data)
         if not length:
             if on_done is not None:
@@ -450,6 +459,10 @@ class DmaEngine:
         [vaddr, vaddr+length); its value is the completion timestamp."""
         if length <= 0:
             raise ValueError("watch length must be positive")
+        if self.burst_guard is not None:
+            # Pending folded write-backs must land (in per-packet order,
+            # at per-packet times) before a new watch is installed.
+            self.burst_guard()
         event = Event(self.env)
         self._watches.append((vaddr, length, event))
         return event

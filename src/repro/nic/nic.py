@@ -88,14 +88,21 @@ class NicCommand:
 
 @dataclass
 class _UnackedEntry:
-    """Retransmit-buffer entry: one sent, not-yet-acknowledged packet."""
+    """Retransmit-buffer entry: one sent, not-yet-acknowledged packet.
+
+    The burst fast path appends a single *spanning* entry
+    (``packet=None``, ``burst`` set) covering a whole folded message;
+    any path that needs real packets (retransmission, unfold) calls
+    ``burst.ensure_entries()`` first, which expands the span in place.
+    """
 
     first_psn: int
     last_psn: int
     kind: str                # 'write' | 'rpc' | 'rpc_write' | 'read'
-    packet: RocePacket
+    packet: Optional[RocePacket]
     completion: Optional[Event] = None
     is_message_tail: bool = False
+    burst: Optional[object] = None
 
 
 @dataclass
@@ -170,6 +177,11 @@ class StromNic:
         self._cable: Optional[Cable] = None
         self._cable_side: Optional[str] = None
 
+        #: Folded burst flights this NIC participates in (sender or
+        #: receiver); any frame arriving while one is active unfolds it
+        #: (see repro.roce.burst).
+        self._burst_flights: List = []
+
         # Fixed pipeline delays, precomputed once (config is immutable):
         # the TX/RX hot paths run per packet.
         self._tx_delay = config.cycles(
@@ -239,6 +251,7 @@ class StromNic:
         an ``ecn`` entry in the switch config (or use
         :meth:`repro.cluster.topology.Cluster.enable_congestion_control`
         to do both ends at once)."""
+        self._unfold_bursts()
         from ..cc.plane import CcConfig, NicCongestionControl
         if config is None:
             config = CcConfig()
@@ -281,6 +294,7 @@ class StromNic:
         """
         if not self.powered:
             return
+        self._unfold_bursts()
         self.powered = False
         if self.trace is not None:
             self.trace.record(self.name, "power_off")
@@ -464,6 +478,16 @@ class StromNic:
         as a *stream* overlapping transmission (descriptor bypass)."""
         payload = command.payload_inline
         yield prev_gate
+        from ..roce import burst
+        # New traffic claims the fabric: any pending fold must hand
+        # back to the per-packet machinery *before* this message
+        # creates its first event (see burst.unfold_pending).
+        burst.unfold_pending(self.env)
+        if command.kind == "write" and payload is None \
+                and fetch is not None:
+            if burst.try_fold_write(self, command, qp, segments,
+                                    first_psn, fetch, gate):
+                return
         span = None if self.trace is None else self.trace.begin_span(
             f"{self.name}.qp{qp.qpn}", "tx_message", kind=command.kind,
             length=command.length)
@@ -565,6 +589,8 @@ class StromNic:
         prev_gate, gate = self._tx_gate, Event(self.env)
         self._tx_gate = gate
         yield prev_gate
+        from ..roce import burst
+        burst.unfold_pending(self.env)
         qp.requester.unacked.append(entry)
         if self.cc is not None:
             yield from self.cc.pace(qp.qpn, packet.wire_bytes)
@@ -601,10 +627,25 @@ class StromNic:
     # ------------------------------------------------------------------
     def _rx_arrive(self, packet: RocePacket) -> None:
         """Cable receiver hook (RX pipeline delay already charged)."""
+        if self._burst_flights:
+            # A per-packet frame reached a NIC participating in a folded
+            # burst: the analytic schedule no longer owns this NIC's
+            # arrival order — unfold before dispatching.
+            self._unfold_bursts()
         if not self.powered:
             self.crash_drops.add()
             return
         self._rx_dispatch(packet)
+
+    def _unfold_bursts(self) -> None:
+        """Unfold every burst flight this NIC participates in."""
+        while self._burst_flights:
+            flight = self._burst_flights[-1]
+            flight.unfold()
+            if self._burst_flights and self._burst_flights[-1] is flight:
+                # unfold() deregisters itself; this is belt-and-braces
+                # against a stale entry wedging the loop.
+                self._burst_flights.pop()
 
     def _rx_dispatch(self, packet: RocePacket) -> None:
         """Classify one received frame.  Runs synchronously so PSN/MSN
@@ -726,6 +767,12 @@ class StromNic:
             # may legally race local writes (see repro.core.payload).
             fetch = self.dma.read_plan(packet.reth.vaddr, lengths)
         yield prev_gate
+        from ..roce import burst
+        burst.unfold_pending(self.env)
+        if not self.config.per_word_accounting:
+            if burst.try_fold_read(self, qp, packet, segments, fetch,
+                                   gate):
+                return
         span = None if self.trace is None else self.trace.begin_span(
             f"{self.name}.qp{qp.qpn}", "serve_read",
             length=packet.reth.dma_length, psn=packet.bth.psn)
@@ -941,6 +988,13 @@ class StromNic:
                 busy.succeed()
 
     def _retransmit_entries(self, qp, from_psn: int):
+        from ..roce import burst
+        burst.unfold_pending(self.env)
+        # A folded burst leaves one spanning entry with no packet:
+        # materialize the real per-packet entries before retransmitting.
+        for entry in list(qp.requester.unacked):
+            if entry.packet is None and entry.burst is not None:
+                entry.burst.ensure_entries()
         entries = [e for e in qp.requester.unacked
                    if psn_distance(from_psn, e.first_psn) < (1 << 23)
                    or e.first_psn == from_psn]

@@ -27,6 +27,12 @@ class Tlb:
         self._entries: Dict[int, int] = {}
         self.lookups = 0
         self.splits = 0
+        # One-entry last-translation cache: sequential DMA (and the burst
+        # fast path's chunk loop) re-translates the same huge page for
+        # ~32k consecutive MTUs, so the repeat hit skips the table probe.
+        self._last_vpn: int = -1
+        self._last_base: int = 0
+        self.cache_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -45,6 +51,8 @@ class Tlb:
         if physical_base >= (1 << 48):
             raise ValueError("physical address exceeds 48 bits")
         self._entries[vpn] = physical_base
+        # The driver may remap a pinned page: never serve a stale base.
+        self._last_vpn = -1
 
     def populate_from(self, page_table: Dict[int, int]) -> None:
         """Bulk-install the driver's vpn -> physical-base map."""
@@ -55,9 +63,14 @@ class Tlb:
         """Translate one virtual address; raises :class:`TlbMissError`."""
         self.lookups += 1
         vpn, offset = divmod(vaddr, self.page_bytes)
+        if vpn == self._last_vpn:
+            self.cache_hits += 1
+            return self._last_base + offset
         base = self._entries.get(vpn)
         if base is None:
             raise TlbMissError(f"no TLB entry for vaddr {vaddr:#x}")
+        self._last_vpn = vpn
+        self._last_base = base
         return base + offset
 
     def split_command(self, vaddr: int,

@@ -1,0 +1,1211 @@
+"""Burst fast path: O(1) simulator events per multi-packet message.
+
+StRoM's pitch is that the hardware pipeline never touches a packet
+twice; the simulator should not touch a *fault-free* packet even once.
+When a multi-packet WRITE (requester TX) or READ response stream
+(responder TX) traverses a clean direct cable — no fault knobs, no
+congestion control, no monitors/trace/sampling, no outstanding
+retransmit state — the whole message is *folded* into one
+:class:`BurstFlight` descriptor.  Every per-packet timestamp the
+per-packet machinery would have produced is computed analytically at
+commit time (the schedule below), and the message then costs exactly
+three scheduler events end to end:
+
+- **E1** at ``C[n-1]``: the TX pipeline finishes the last packet — the
+  send gate opens and (for WRITEs) the retransmission timer arms,
+  exactly as the per-packet loop would have done;
+- **E2** at ``A[n-1]``: the last packet arrives — responder PSN/MSN
+  state jumps to its final value and the single coalesced ACK (the one
+  the per-packet tail would have triggered) is sent through the real
+  ACK path;
+- **E3** at ``wend[n-1]``: the last DMA write-back lands — payload
+  views are committed to the destination pages (zero copy, in per-packet
+  order) and, for READs, the completion fires.
+
+The analytic schedule (all integer picoseconds, mirroring the code
+paths in :mod:`repro.nic.nic`, :mod:`repro.net.link` and
+:mod:`repro.nic.dma` line for line):
+
+- fetch chunk ``i`` ready: ``due[i] = fetch_start + fetch_cum[i]``
+- TX loop resume:       ``F[i] = max(C[i-1], due[i])`` (``C[-1] = t0``)
+- TX charge done:       ``C[i] = F[i] + streaming_time(l3[i])``
+- wire reservation:     ``S[i] = max(free, C[i] + tx_delay)``;
+  ``E1c[i] = S[i] + transfer_time(wire[i])``; ``free = E1c[i]``
+- arrival at receiver:  ``A[i] = E1c[i] + propagation + rx_delay``
+- write-back slot:      ``wstart[i] = max(wfree, A[i] + pcie_write_latency)``;
+  ``wend[i] = wstart[i] + burst_duration(pieces[i])``
+
+Fold *guards* keep the illusion honest: the flight registers itself on
+the cable (:attr:`Cable._pending`), on both NICs
+(:attr:`StromNic._burst_flights`) and on the destination DMA engine
+(:attr:`DmaEngine.burst_guard`).  Any mid-flight slow-path trigger — a
+send on the occupied cable direction, a link flap or latency spike, a
+crash, CC activation, a competing DMA write or watch, any frame
+arriving at a participating NIC — *unfolds* the burst at the correct
+PSN boundary: already-elapsed effects are applied as the per-packet
+path would have left them, in-flight frames are re-scheduled at their
+exact arrival times, not-yet-sent packets are replayed organically
+through the real TX path, and eagerly reserved wire/DMA time beyond the
+boundary is rewound.  One documented approximation: an external trigger
+landing at *exactly* the same picosecond as a column entry treats that
+entry as already-elapsed (``bisect_right`` tie semantics), where the
+per-packet interleaving at that instant would depend on event ids.
+
+``REPRO_BURST`` enables folding; ``REPRO_BURST_VALIDATE`` additionally
+re-walks every committed schedule with the real per-packet arithmetic
+(real :class:`RocePacket` sizes, explicit max-chains, a stepped
+:class:`ResponderState` clone) and asserts bit-identity.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_right
+from typing import Callable, List, Optional
+
+from ..sim import timebase
+from .headers import Aeth, Bth, Reth
+from .opcodes import carries_aeth, is_last, is_only
+from .packet import RocePacket
+from .packetizer import l3_bytes_for_segments
+from .qp import ResponderState, psn_add
+
+#: Messages shorter than this many packets are not worth folding: the
+#: fixed commit cost (column computation + shadow walk) outweighs the
+#: saved events.
+FOLD_MIN_PACKETS = 4
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+# Flight states.
+_FOLDED = 0      # in flight, analytic schedule authoritative
+_DELIVERED = 1   # all packets arrived (E2 ran); write-backs pending
+_UNFOLDED = 2    # mid-flight unfold: per-packet machinery took over
+_DONE = 3        # E3 ran (or flushed): nothing pending
+
+
+def _env_on(name: str) -> bool:
+    value = os.environ.get(name)
+    return value is not None and value.strip().lower() in _TRUTHY
+
+
+def burst_enabled(env) -> bool:
+    """Folding enabled for this simulator?  A per-simulator override via
+    :func:`set_burst_mode` wins; otherwise ``REPRO_BURST`` /
+    ``REPRO_BURST_VALIDATE`` in the environment."""
+    mode = getattr(env, "_burst_mode", None)
+    if mode is not None:
+        return mode
+    return _env_on("REPRO_BURST") or _env_on("REPRO_BURST_VALIDATE")
+
+
+def set_burst_mode(env, on: Optional[bool]) -> None:
+    """Force folding on/off for one simulator (tests, conformance
+    harness); ``None`` restores the environment-variable default."""
+    env._burst_mode = on
+
+
+def validate_enabled() -> bool:
+    """Shadow-validation mode: re-walk every fold per-packet and assert
+    schedule equality."""
+    return _env_on("REPRO_BURST_VALIDATE")
+
+
+def unfold_pending(env) -> None:
+    """Unfold every in-flight fold before new traffic enters the fabric.
+
+    Called at the head of every message/retransmission send path.  The
+    simulator breaks same-picosecond ties by event-creation order, so a
+    fold is only bit-identical while no *other* flow schedules events
+    that could tie with the folded schedule.  Catching the competitor at
+    post time — before it has created a single event — lets the replay
+    re-create the folded flow's event chain *ahead* of the newcomer's,
+    exactly the relative order the per-packet machinery would have
+    produced.  Waiting for the competitor's first frame to physically
+    reach a shared hop (the guards' job) is too late for that: by then
+    the competitor's chain holds earlier-created events and the replay
+    loses every tie it should win.  With no pending fold (the common
+    case, and any purely sequential workload) this is one attribute
+    probe."""
+    live = getattr(env, "_burst_live", None)
+    while live:
+        live.pop().unfold()
+
+
+# ----------------------------------------------------------------------
+# Fold gates
+# ----------------------------------------------------------------------
+def _sender_clean(nic, qp) -> bool:
+    """No slow-path feature on the sending NIC."""
+    return (nic.powered and nic.cc is None and nic.check is None
+            and nic.trace is None
+            and not nic.config.per_word_accounting
+            and not nic.metrics.sampling_enabled
+            and not qp.in_error
+            and nic.memory.store_guard is None
+            and nic._cable is not None)
+
+
+def _cable_clean(cable) -> bool:
+    """No fault knob active and no other flight on either direction."""
+    faults = cable.faults
+    return (cable.up and cable.extra_latency == 0
+            and not faults.drop_probability
+            and not faults.corrupt_probability
+            and not faults.duplicate_probability
+            and faults.burst is None
+            and cable._pending["a"] is None
+            and cable._pending["b"] is None)
+
+
+def _resolve_receiver(cable, dest: str):
+    """The StromNic whose ``_rx_arrive`` hook terminates ``dest``, or
+    None when the far side is not a directly attached NIC."""
+    from ..nic.nic import StromNic
+    hook = cable._receivers[dest]
+    nic = getattr(hook, "__self__", None)
+    if not isinstance(nic, StromNic):
+        return None
+    if getattr(hook, "__func__", None) is not StromNic._rx_arrive:
+        return None
+    return nic
+
+
+def _receiver_clean(recv) -> bool:
+    return (recv.powered and recv.cc is None and recv.check is None
+            and recv.trace is None
+            and not recv.config.per_word_accounting
+            and not recv._burst_flights
+            and recv.dma.burst_guard is None
+            and recv.memory.store_guard is None
+            and not recv.dma._watches)
+
+
+# ----------------------------------------------------------------------
+# The flight
+# ----------------------------------------------------------------------
+class BurstFlight:
+    """One folded multi-packet message on a clean direct-cable path."""
+
+    __slots__ = (
+        "env", "kind", "src", "dst", "src_qp", "dst_qp", "cable", "side",
+        "dest", "segments", "first_psn", "last_psn", "n", "t0", "gate",
+        "views", "addrs", "pieces", "p", "l3", "wire", "total",
+        "total_wire", "F", "C", "E1c", "A1", "A", "dur", "wstart", "wend",
+        "pre_free1", "pre_wfree", "fetch_start", "fetch_cum",
+        "base_addr", "raddr", "msg_length", "completion", "msn0", "ctx",
+        "state", "e1_done", "entry", "_packets", "c_unfolds",
+    )
+
+    def __init__(self, kind, src, dst, src_qp, dst_qp, segments,
+                 first_psn, fetch, gate, base_addr, raddr, msg_length,
+                 completion, ctx) -> None:
+        self.env = src.env
+        self.kind = kind                 # 'write' | 'read'
+        self.src = src                   # sending NIC
+        self.dst = dst                   # receiving NIC
+        self.src_qp = src_qp             # QP at src (names dest_qpn/ip)
+        self.dst_qp = dst_qp             # QP at dst (peer state)
+        self.cable = src._cable
+        self.side = src._cable_side
+        self.dest = "b" if self.side == "a" else "a"
+        self.segments = segments
+        self.first_psn = first_psn
+        self.n = len(segments)
+        self.last_psn = psn_add(first_psn, self.n - 1)
+        self.t0 = self.env.now
+        self.gate = gate
+        self.base_addr = base_addr       # destination vaddr of packet 0
+        self.raddr = raddr               # RETH vaddr (WRITE) / 0 (READ)
+        self.msg_length = msg_length     # RETH dma_length / READ length
+        self.completion = completion     # WRITE tail completion (or None)
+        self.msn0 = dst_qp.responder.msn if kind == "write" \
+            else src_qp.responder.msn
+        self.ctx = ctx                   # READ: requester _ReadContext
+        self.fetch_start = fetch._start
+        self.fetch_cum = fetch._cum
+        self.state = _FOLDED
+        self.e1_done = False
+        self.entry = None
+        self._packets: List[Optional[RocePacket]] = [None] * self.n
+        self.c_unfolds = None
+        # Payload views: the same PayloadRef objects the per-packet loop
+        # would have placed into the packets (zero copy end to end).
+        dma = fetch._dma
+        self.views = [dma._view_of(pieces, fetch._stable)
+                      for pieces in fetch._chunk_pieces]
+        self.p = [seg.length for seg in segments]
+        self.total = sum(self.p)
+
+    # ------------------------------------------------------------------
+    # Schedule computation (pure: no side effects; raises to refuse)
+    # ------------------------------------------------------------------
+    def compute_schedule(self) -> None:
+        self.A1 = self.A = self._compute_tx()
+        self._compute_wlane(self.A)
+
+    def _compute_tx(self) -> List[int]:
+        """TX-pipeline and first-hop columns; returns the per-packet
+        arrival times at the first cable's far side."""
+        src, cable = self.src, self.cable
+        segments = self.segments
+        response = self.kind == "read"
+        self.l3 = l3_bytes_for_segments(segments, response=response)
+        from .. import config as _cfg
+        self.wire = [_cfg.wire_bytes_for_frame(b) for b in self.l3]
+        self.total_wire = sum(self.wire)
+
+        streaming_time = src.config.streaming_time
+        tx_delay = src._tx_delay
+        bps = cable.bits_per_second
+        prop = cable.propagation + cable.extra_latency \
+            + cable._receiver_delay[self.dest]
+        fetch_start, fetch_cum = self.fetch_start, self.fetch_cum
+
+        F: List[int] = []
+        C: List[int] = []
+        E1c: List[int] = []
+        A: List[int] = []
+        prev_c = self.t0
+        free = self.pre_free1 = cable._free_at[self.side]
+        for i in range(self.n):
+            due = fetch_start + fetch_cum[i]
+            f = due if due > prev_c else prev_c
+            c = f + streaming_time(self.l3[i])
+            s = c + tx_delay
+            if s < free:
+                s = free
+            e = s + timebase.transfer_time_ps(self.wire[i], bps)
+            F.append(f)
+            C.append(c)
+            E1c.append(e)
+            A.append(e + prop)
+            prev_c = c
+            free = e
+        self.F, self.C, self.E1c = F, C, E1c
+        return A
+
+    def _compute_wlane(self, arrivals: List[int]) -> None:
+        """Destination write-back lane (receiver's card->host PCIe),
+        chained in arrival order."""
+        dst = self.dst
+        wdma = dst.dma
+        wlink = wdma.write_link
+        wlat = dst.config.pcie_write_latency
+        self.pieces = []
+        self.addrs = []
+        self.dur = []
+        wstart: List[int] = []
+        wend: List[int] = []
+        wfree = self.pre_wfree = wlink._free_at
+        addr = self.base_addr
+        for i in range(self.n):
+            pieces = list(dst.tlb.split_command(addr, self.p[i]))
+            dur = wdma._burst_duration(wlink, [n for _, n in pieces], True)
+            ws = arrivals[i] + wlat
+            if ws < wfree:
+                ws = wfree
+            we = ws + dur
+            self.pieces.append(pieces)
+            self.addrs.append(addr)
+            self.dur.append(dur)
+            wstart.append(ws)
+            wend.append(we)
+            wfree = we
+            addr += self.p[i]
+        self.wstart, self.wend = wstart, wend
+
+    # ------------------------------------------------------------------
+    # Commit: reservations, registrations, the three deferred events
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        env = self.env
+        cable, src, dst = self.cable, self.src, self.dst
+        # Eager wire reservation: interferers queue behind the whole
+        # burst (or unfold it first, which rewinds this cursor).
+        cable._free_at[self.side] = self.E1c[-1]
+        # Eager write-lane reservation, chained in arrival order.
+        wlink = dst.dma.write_link
+        wlink._free_at = self.wend[-1]
+        wlink.busy_time += sum(self.dur)
+        wlink.bytes_transferred += self.total
+
+        cable._pending[self.side] = self
+        live = getattr(env, "_burst_live", None)
+        if live is None:
+            live = env._burst_live = []
+        live.append(self)
+        src._burst_flights.append(self)
+        dst._burst_flights.append(self)
+        dst.dma.burst_guard = self._dma_guard
+        if self.kind == "read":
+            # Served views are stable=False: a responder-local DMA write
+            # racing the stream must unfold so commits keep per-packet
+            # memory ordering.
+            src.dma.burst_guard = self._dma_guard
+        # Raw host stores deref nothing until a commit reads the source
+        # (or lands in the destination) — per-packet that happens at
+        # each wend[i], so a mid-flight store to either memory must
+        # first push the flight back to per-packet commit times.
+        src.memory.store_guard = self._dma_guard
+        dst.memory.store_guard = self._dma_guard
+
+        if self.kind == "write":
+            from ..nic.nic import _UnackedEntry
+            self.entry = _UnackedEntry(
+                first_psn=self.first_psn, last_psn=self.last_psn,
+                kind="write", packet=None, completion=self.completion,
+                is_message_tail=True, burst=self)
+            self.src_qp.requester.unacked.append(self.entry)
+
+        metrics = src.metrics
+        metrics.counter(f"{src.name}.burst.folds").add()
+        metrics.counter(f"{src.name}.burst.folded_packets").add(self.n)
+        metrics.counter(f"{dst.name}.burst.folded_rx").add(self.n)
+        metrics.counter(f"{cable.name}.burst.folded_frames").add(self.n)
+        self.c_unfolds = metrics.counter(f"{src.name}.burst.unfolds")
+
+        now = env.now
+        env.timeout(self.C[-1] - now).callbacks.append(self._on_e1)
+        env.timeout(self.A[-1] - now).callbacks.append(self._on_e2)
+        env.timeout(self.wend[-1] - now).callbacks.append(self._on_e3)
+        if validate_enabled():
+            self._shadow_check()
+
+    # ------------------------------------------------------------------
+    # Packet materialization (unfold/replay/validation only)
+    # ------------------------------------------------------------------
+    def _packet(self, i: int) -> RocePacket:
+        packet = self._packets[i]
+        if packet is not None:
+            return packet
+        seg = self.segments[i]
+        qp = self.src_qp
+        psn = psn_add(self.first_psn, i)
+        if self.kind == "write":
+            reth = Reth(vaddr=self.raddr, rkey=0,
+                        dma_length=self.msg_length) \
+                if seg.carries_reth else None
+            tail = is_last(seg.opcode) or is_only(seg.opcode)
+            bth = Bth(opcode=seg.opcode, dest_qp=qp.dest_qpn, psn=psn,
+                      ack_request=tail)
+            packet = RocePacket(src_ip=self.src.ip, dst_ip=qp.dest_ip,
+                                bth=bth, reth=reth, payload=self.views[i])
+        else:
+            aeth = Aeth(syndrome=0, msn=self.msn0) \
+                if carries_aeth(seg.opcode) else None
+            bth = Bth(opcode=seg.opcode, dest_qp=qp.dest_qpn, psn=psn)
+            packet = RocePacket(src_ip=self.src.ip, dst_ip=qp.dest_ip,
+                                bth=bth, aeth=aeth, payload=self.views[i])
+        self._packets[i] = packet
+        return packet
+
+    # ------------------------------------------------------------------
+    # Deferred events
+    # ------------------------------------------------------------------
+    def _on_e1(self, _event) -> None:
+        if self.state is not _FOLDED or self.e1_done:
+            return
+        self.src.packets_sent.add(self.n)
+        self.cable.bytes_on_wire.add(self.total_wire)
+        if self.kind == "write":
+            self.src.payload_bytes_sent.add(self.total)
+        self._finish_tx()
+
+    def _finish_tx(self) -> None:
+        """Tail effects of the per-packet TX loop (gate + timer)."""
+        self.e1_done = True
+        if self.kind == "write" and not self.src_qp.in_error:
+            self.src.timer.arm(self.src_qp.qpn)
+        if not self.gate.triggered:
+            self.gate.succeed()
+
+    def _on_e2(self, _event) -> None:
+        if self.state is not _FOLDED:
+            return
+        self._deregister()
+        self._path_counters()
+        dst = self.dst
+        dst.packets_received.add(self.n)
+        dst.payload_bytes_received.add(self.total)
+        if self.kind == "write":
+            self._e2_write_state()
+        else:
+            self._e2_read_state()
+        self.state = _DELIVERED
+
+    def _path_counters(self) -> None:
+        """Network-path counters for the whole message, batched at E2
+        (per-packet timing of counter increments is unobservable: metric
+        snapshots are only taken at run end)."""
+        self.cable.frames_delivered.add(self.n)
+
+    def _e2_write_state(self) -> None:
+        """Responder jump + the coalesced ACK, at exactly the time the
+        per-packet tail arrival would have produced them."""
+        dst, dst_qp = self.dst, self.dst_qp
+        responder = dst_qp.responder
+        responder.expected_psn = psn_add(self.first_psn, self.n)
+        responder.msn = (responder.msn + 1) & 0xFFFFFF
+        responder.write_cursor = None
+        dst._nak_pending[dst_qp.qpn] = False
+        dst._send_ack(dst_qp, self.last_psn, responder.msn)
+
+    def _e2_read_state(self) -> None:
+        dst, dst_qp, ctx = self.dst, self.dst_qp, self.ctx
+        ctx.next_index = self.n
+        ctx.bytes_received = self.total
+        dst.multiqueue.pop(dst_qp.qpn)
+        dst._release_read_entry(dst_qp, ctx)
+
+    def _on_e3(self, _event) -> None:
+        if self.state is not _DELIVERED:
+            return
+        self.state = _DONE
+        self._clear_guards()
+        for i in range(self.n):
+            self._commit_index(i)
+        if self.kind == "read":
+            self.dst._finish_read(self.dst_qp, self.ctx)
+
+    def _commit_index(self, i: int) -> None:
+        self.dst.dma._commit_write(self.addrs[i], self.pieces[i],
+                                   self.views[i], self.p[i], None)
+
+    # ------------------------------------------------------------------
+    # Guards
+    # ------------------------------------------------------------------
+    def on_cable_send(self, cable, side) -> None:
+        """An interferer wants the folded direction of the wire.  After
+        E1 this is benign: all our frames are on the wire and the eager
+        ``free_at`` equals what per-packet operation would show, so the
+        newcomer queues behind bit-identically.  Before E1 it would race
+        our analytically scheduled serialization — unfold."""
+        if self.state is _FOLDED and not self.e1_done:
+            self.unfold()
+
+    def _dma_guard(self) -> None:
+        """A competing write/watch on a guarded DMA engine."""
+        if self.state is _FOLDED:
+            self.unfold()
+        elif self.state is _DELIVERED:
+            self._flush_delivered()
+
+    def _deregister(self) -> None:
+        if self.cable._pending.get(self.side) is self:
+            self.cable._pending[self.side] = None
+        try:
+            self.env._burst_live.remove(self)
+        except ValueError:
+            pass
+        for nic in (self.src, self.dst):
+            try:
+                nic._burst_flights.remove(self)
+            except ValueError:
+                pass
+
+    def _clear_guards(self) -> None:
+        # Compare via __self__: each `self._dma_guard` access builds a
+        # fresh bound method, so `is` on the methods never matches.
+        for dma in (self.dst.dma, self.src.dma):
+            guard = dma.burst_guard
+            if guard is not None \
+                    and getattr(guard, "__self__", None) is self:
+                dma.burst_guard = None
+        for memory in (self.dst.memory, self.src.memory):
+            guard = memory.store_guard
+            if guard is not None \
+                    and getattr(guard, "__self__", None) is self:
+                memory.store_guard = None
+
+    # ------------------------------------------------------------------
+    # Retransmit-buffer expansion
+    # ------------------------------------------------------------------
+    def _entry_for(self, i: int):
+        """The per-packet retransmit entry the send loop would have
+        appended for packet ``i``."""
+        from ..nic.nic import _UnackedEntry
+        packet = self._packet(i)
+        tail = i == self.n - 1
+        return _UnackedEntry(
+            first_psn=packet.bth.psn, last_psn=packet.bth.psn,
+            kind="write", packet=packet,
+            completion=self.completion if tail else None,
+            is_message_tail=tail)
+
+    def ensure_entries(self, upto: Optional[int] = None) -> None:
+        """Replace the spanning retransmit entry with real per-packet
+        entries for packets ``[0, upto)`` (idempotent; no-op once the
+        entry is gone).  The per-packet loop appends packet ``i``'s
+        entry at ``F[i]``, *before* its TX charge — so a mid-flight
+        unfold must expand only the entries that exist at that instant
+        (``bisect_right(F, now)``) and let the replay append the rest
+        at their exact per-packet times; a NAK's go-back-N snapshot of
+        the unacked list must never see not-yet-sent packets."""
+        entry = self.entry
+        if entry is None:
+            return
+        self.entry = None
+        unacked = self.src_qp.requester.unacked
+        try:
+            index = unacked.index(entry)
+        except ValueError:
+            return
+        count = self.n if upto is None else upto
+        unacked[index:index + 1] = [self._entry_for(i)
+                                    for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Unfold: hand the remainder back to the per-packet machinery
+    # ------------------------------------------------------------------
+    def unfold(self) -> None:
+        if self.state is not _FOLDED:
+            if self.state is _DELIVERED:
+                self._flush_delivered()
+            return
+        self.state = _UNFOLDED
+        env = self.env
+        t = env.now
+        self._deregister()
+        self._clear_guards()
+        self.c_unfolds.add()
+        n_tx = bisect_right(self.C, t)
+        n_arr = bisect_right(self.A, t)
+
+        if self.kind == "write":
+            self.ensure_entries(bisect_right(self.F, t))
+        self._unfold_sender(t, n_tx)
+
+        # --- frames in flight on the wire --------------------------------
+        for i in range(n_arr, n_tx):
+            env.timeout(self.A[i] - t).callbacks.append(
+                lambda _event, packet=self._packet(i), dest=self.dest:
+                    self.cable._arrive_direct(packet, dest))
+
+        # --- receiver prefix ---------------------------------------------
+        if n_arr:
+            self.cable.frames_delivered.add(n_arr)
+            self._receiver_prefix(n_arr)
+        self._unfold_wlane(n_arr, t)
+
+    def _unfold_sender(self, t: int, n_tx: int) -> None:
+        """Sender-side unfold: counters for the sent prefix, wire-cursor
+        rewind, and organic replay of the unsent tail."""
+        if self.e1_done:
+            return
+        self.src.packets_sent.add(n_tx)
+        self.cable.bytes_on_wire.add(sum(self.wire[:n_tx]))
+        if self.kind == "write":
+            # The replay path delivers through _tx_deliver, which
+            # never touches payload_tx — count the full message here.
+            self.src.payload_bytes_sent.add(self.total)
+        if n_tx < self.n:
+            self.cable._free_at[self.side] = \
+                self.E1c[n_tx - 1] if n_tx else self.pre_free1
+            self.env.process(
+                self._replay_tx(n_tx, bisect_right(self.F, t)))
+        else:
+            self._finish_tx()
+
+    def _receiver_prefix(self, n_arr: int) -> None:
+        """Receiver-side unfold: counters and PSN/cursor state as the
+        per-packet path would have left them after ``n_arr`` arrivals."""
+        dst, dst_qp, n = self.dst, self.dst_qp, self.n
+        prefix_bytes = sum(self.p[:n_arr])
+        dst.packets_received.add(n_arr)
+        dst.payload_bytes_received.add(prefix_bytes)
+        if self.kind == "write":
+            if n_arr == n:
+                self._e2_write_state()
+            else:
+                responder = dst_qp.responder
+                responder.expected_psn = psn_add(self.first_psn, n_arr)
+                responder.write_cursor = self.base_addr + prefix_bytes
+                dst._nak_pending[dst_qp.qpn] = False
+        else:
+            self.ctx.next_index = n_arr
+            self.ctx.bytes_received = prefix_bytes
+            if n_arr == n:
+                self._e2_read_state()
+
+    def _unfold_wlane(self, n_arr: int, t: int) -> None:
+        """Write-back lane unfold: rewind the eager suffix reservation
+        and land the arrived prefix's commits at per-packet times."""
+        dst, n = self.dst, self.n
+        wlink = dst.dma.write_link
+        if n_arr < n:
+            # Rewind the eager suffix: arrivals >= n_arr will reserve
+            # organically through write_posted.
+            wlink._free_at = self.wend[n_arr - 1] if n_arr \
+                else self.pre_wfree
+            wlink.busy_time -= sum(self.dur[n_arr:])
+            wlink.bytes_transferred -= sum(self.p[n_arr:])
+        final = n - 1
+        for i in range(n_arr):
+            if self.wend[i] <= t:
+                self._commit_index(i)
+                if i == final and self.kind == "read":
+                    dst._finish_read(self.dst_qp, self.ctx)
+            else:
+                self._schedule_commit(i, i == final)
+
+    def _schedule_commit(self, i: int, is_final: bool) -> None:
+        def _land(_event, i=i, is_final=is_final):
+            self._commit_index(i)
+            if is_final and self.kind == "read":
+                self.dst._finish_read(self.dst_qp, self.ctx)
+        self.env.timeout(self.wend[i] - self.env.now).callbacks.append(
+            _land)
+
+    def _flush_delivered(self) -> None:
+        """All frames arrived, write-backs pending, and someone wants
+        the destination DMA engine: convert the batched E3 into
+        per-packet commits at their exact per-packet times (overdue ones
+        land now, in order, before the interferer proceeds)."""
+        self.state = _DONE
+        self._clear_guards()
+        t = self.env.now
+        final = self.n - 1
+        for i in range(self.n):
+            if self.wend[i] <= t:
+                self._commit_index(i)
+                if i == final and self.kind == "read":
+                    self.dst._finish_read(self.dst_qp, self.ctx)
+            else:
+                self._schedule_commit(i, i == final)
+
+    def _replay_tx(self, start: int, appended: int):
+        """Deliver the not-yet-sent tail through the real TX path:
+        packet ``i``'s retransmit entry lands at ``F[i]`` (where the
+        per-packet loop appends it, before the TX charge) and the frame
+        at its charge-completion time ``C[i]``."""
+        env = self.env
+        for i in range(start, self.n):
+            if self.kind == "write" and i >= appended:
+                if self.F[i] > env.now:
+                    yield env.timeout(self.F[i] - env.now)
+                self.src_qp.requester.unacked.append(self._entry_for(i))
+            if self.C[i] > env.now:
+                yield env.timeout(self.C[i] - env.now)
+            packet = self._packet(i)
+            if self.kind == "write":
+                self.src._tx_deliver(packet, self.src_qp)
+            else:
+                self.src._tx_deliver(packet)
+        self._finish_tx()
+
+    # ------------------------------------------------------------------
+    # Shadow validation
+    # ------------------------------------------------------------------
+    def _shadow_check(self) -> None:
+        """Re-walk the schedule with the per-packet arithmetic (real
+        packet objects, explicit max-chains, stepped responder clone)
+        and assert bit-identity with the committed columns."""
+        arrivals = self._shadow_tx()
+        arrivals = self._shadow_path(arrivals)
+        self._shadow_wlane(arrivals)
+        if self.kind == "write":
+            self._shadow_responder()
+
+    def _shadow_tx(self) -> List[int]:
+        """Per-packet re-walk of the TX pipeline and the first hop."""
+        src, cable = self.src, self.cable
+        streaming_time = src.config.streaming_time
+        bps = cable.bits_per_second
+        prop = cable.propagation + cable.extra_latency \
+            + cable._receiver_delay[self.dest]
+        prev_c = self.t0
+        free = self.pre_free1
+        arrivals: List[int] = []
+        for i in range(self.n):
+            packet = self._packet(i)
+            assert packet.l3_bytes == self.l3[i], \
+                (self.kind, i, packet.l3_bytes, self.l3[i])
+            assert packet.wire_bytes == self.wire[i], \
+                (self.kind, i, packet.wire_bytes, self.wire[i])
+            due = self.fetch_start + self.fetch_cum[i]
+            f = max(prev_c, due)
+            c = f + streaming_time(packet.l3_bytes)
+            s = max(free, c + src._tx_delay)
+            e = s + timebase.transfer_time_ps(packet.wire_bytes, bps)
+            a = e + prop
+            assert c == self.C[i] and e == self.E1c[i] \
+                and a == self.A1[i], \
+                (self.kind, i, (c, e, a), (self.C[i], self.E1c[i],
+                                           self.A1[i]))
+            arrivals.append(a)
+            prev_c, free = c, e
+        return arrivals
+
+    def _shadow_path(self, arrivals: List[int]) -> List[int]:
+        """Direct cable: the first-hop arrival is the arrival."""
+        return arrivals
+
+    def _shadow_wlane(self, arrivals: List[int]) -> None:
+        wlat = self.dst.config.pcie_write_latency
+        wfree = self.pre_wfree
+        for i in range(self.n):
+            ws = max(wfree, arrivals[i] + wlat)
+            we = ws + self.dur[i]
+            assert ws == self.wstart[i] and we == self.wend[i], \
+                (self.kind, i, (ws, we), (self.wstart[i], self.wend[i]))
+            wfree = we
+
+    def _shadow_responder(self) -> None:
+        if self.kind == "write":
+            clone = self.dst_qp.responder.clone()
+            cursor = None
+            from .qp import PsnVerdict
+            for i in range(self.n):
+                packet = self._packet(i)
+                assert clone.classify(packet.bth.psn) is \
+                    PsnVerdict.EXPECTED, (i, packet.bth.psn)
+                clone.expected_psn = psn_add(packet.bth.psn, 1)
+                if packet.reth is not None:
+                    clone.write_cursor = packet.reth.vaddr
+                cursor = clone.write_cursor
+                assert cursor == self.addrs[i], (i, cursor, self.addrs[i])
+                clone.write_cursor = cursor + len(packet.payload)
+                if i == self.n - 1:
+                    clone.msn = (clone.msn + 1) & 0xFFFFFF
+                    clone.write_cursor = None
+            assert clone.expected_psn == psn_add(self.first_psn, self.n)
+            assert clone.msn == ((self.msn0 + 1) & 0xFFFFFF)
+            assert clone.write_cursor is None
+
+
+# ----------------------------------------------------------------------
+# One-switch leg
+# ----------------------------------------------------------------------
+class _SwitchLeg:
+    """Resolved path through one store-and-forward switch."""
+
+    __slots__ = ("switch", "port_in", "port_out", "cable2", "dest2",
+                 "recv")
+
+    def __init__(self, switch, port_in, port_out, cable2, dest2,
+                 recv) -> None:
+        self.switch = switch
+        self.port_in = port_in
+        self.port_out = port_out
+        self.cable2 = cable2
+        self.dest2 = dest2
+        self.recv = recv
+
+
+def _resolve_switch_leg(nic, cable, dest, dest_ip) -> Optional[_SwitchLeg]:
+    """When ``dest`` terminates at a switch port, resolve the clean
+    two-hop path to the destination NIC, or None to refuse the fold:
+    no ECN/fabric/checker, no pending flight, both ports up and idle
+    (empty queues, no in-progress forwarding or pacing window), both
+    MACs already learned on the right ports."""
+    port_in = cable._switch_ports.get(dest)
+    if port_in is None:
+        return None
+    switch = port_in.switch
+    if (switch.check is not None or switch.trace is not None
+            or switch.ecn_marker is not None or switch.fabric is not None
+            or switch._pending):
+        return None
+    from ..net.arp import mac_for_ip
+    if switch._mac_table.get(mac_for_ip(nic.ip)) != port_in.index:
+        return None  # learn() would mutate the table mid-schedule
+    out = switch._mac_table.get(mac_for_ip(dest_ip))
+    if out is None or out == port_in.index:
+        return None  # flood / hairpin: per-packet path
+    port_out = switch.ports[out]
+    if not port_in.up or not port_out.up:
+        return None
+    now = nic.env.now
+    for port in switch.ports:
+        # A frame inside any forwarding-latency window is already past
+        # the ingress unfold guard and could enqueue mid-schedule.
+        if port._ingress_floor > now:
+            return None
+    if (port_out._egress_floor > now or len(port_out.queue)
+            or len(port_in.rx)):
+        return None
+    cable2 = port_out.cable
+    if not _cable_clean(cable2):
+        return None
+    dest2 = "b" if port_out.side == "a" else "a"
+    recv = _resolve_receiver(cable2, dest2)
+    if recv is None:
+        return None
+    return _SwitchLeg(switch, port_in, port_out, cable2, dest2, recv)
+
+
+class SwitchBurstFlight(BurstFlight):
+    """A folded message crossing one store-and-forward switch.
+
+    Adds the switch-leg columns (all integer picoseconds, mirroring
+    :class:`~repro.cluster.switch.Switch` line for line):
+
+    - ingress done (lookup + enqueue): ``I[i] = max(A1[i], I[i-1]) + fwd``
+    - egress dequeue/send:  ``D[i] = max(I[i], P[i-1])``; pacing end
+      ``P[i] = D[i] + transfer_time(wire[i])``
+    - second-hop serialization: ``E2c[i] = max(free2, D[i]) + tt``
+    - arrival at the NIC:   ``A2[i] = E2c[i] + prop2 + rx_delay``
+
+    plus the output queue's analytic depth at each enqueue (the
+    ``max_queue_depth`` gauge the per-packet path would have set).  The
+    flight registers on the switch (any real frame picked up by any
+    ingress loop unfolds it first) and on the second cable; an unfold
+    re-injects every stage at its exact per-packet time, using the port
+    loops' busy-until floors to resume the pipeline mid-schedule.
+    """
+
+    __slots__ = ("switch", "port_in", "port_out", "cable2", "side2",
+                 "dest2", "I", "D", "P", "E2c", "pre_free2", "depths")
+
+    def __init__(self, leg: _SwitchLeg, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.switch = leg.switch
+        self.port_in = leg.port_in
+        self.port_out = leg.port_out
+        self.cable2 = leg.cable2
+        self.side2 = leg.port_out.side
+        self.dest2 = leg.dest2
+
+    # ------------------------------------------------------------------
+    # Schedule
+    # ------------------------------------------------------------------
+    def compute_schedule(self) -> None:
+        self.A1 = self._compute_tx()
+        switch, cable2 = self.switch, self.cable2
+        fwd = switch.config.forwarding_latency
+        bps2 = cable2.bits_per_second
+        prop2 = cable2.propagation + cable2.extra_latency \
+            + cable2._receiver_delay[self.dest2]
+        I: List[int] = []
+        D: List[int] = []
+        P: List[int] = []
+        E2c: List[int] = []
+        A2: List[int] = []
+        depths: List[int] = []
+        prev_i = prev_p = 0
+        free2 = self.pre_free2 = cable2._free_at[self.side2]
+        for i in range(self.n):
+            a1 = self.A1[i]
+            done = (a1 if a1 > prev_i else prev_i) + fwd
+            d = done if done > prev_p else prev_p
+            tt = timebase.transfer_time_ps(self.wire[i], bps2)
+            s2 = d if d > free2 else free2
+            e = s2 + tt
+            I.append(done)
+            D.append(d)
+            P.append(d + tt)
+            E2c.append(e)
+            A2.append(e + prop2)
+            # Queue depth the ingress loop observes at this enqueue:
+            # enqueues so far minus dequeues at-or-before (bisect_right
+            # tie semantics; min() keeps our own later dequeue out).
+            depths.append(i + 1 - min(i, bisect_right(D, done)))
+            prev_i, prev_p, free2 = done, d + tt, e
+        if max(depths) > switch.config.buffer_frames:
+            raise RuntimeError("analytic schedule would tail-drop")
+        self.I, self.D, self.P, self.E2c = I, D, P, E2c
+        self.depths = depths
+        self.A = A2
+        self._compute_wlane(A2)
+
+    # ------------------------------------------------------------------
+    # Commit / registration
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        cable2 = self.cable2
+        cable2._free_at[self.side2] = self.E2c[-1]
+        cable2._pending[self.side2] = self
+        self.switch._pending.append(self)
+        metrics = self.src.metrics
+        metrics.counter(
+            f"{self.switch.name}.burst.folded_frames").add(self.n)
+        metrics.counter(
+            f"{cable2.name}.burst.folded_frames").add(self.n)
+        super().commit()
+
+    def _deregister(self) -> None:
+        super()._deregister()
+        if self.cable2._pending.get(self.side2) is self:
+            self.cable2._pending[self.side2] = None
+        try:
+            self.switch._pending.remove(self)
+        except ValueError:
+            pass
+
+    def on_cable_send(self, cable, side) -> None:
+        if cable is self.cable:
+            super().on_cable_send(cable, side)
+        elif self.state is _FOLDED and self.env.now < self.D[-1]:
+            # Belt-and-braces: an egress send on the second hop before
+            # all our frames are out (the ingress guard normally unfolds
+            # first, since any real frame must cross an ingress loop).
+            self.unfold()
+
+    def _path_counters(self) -> None:
+        self.cable.frames_delivered.add(self.n)
+        self.port_in.frames_in.add(self.n)
+        self.switch.frames_forwarded.add(self.n)
+        self.port_out.frames_out.add(self.n)
+        self.cable2.bytes_on_wire.add(self.total_wire)
+        self.cable2.frames_delivered.add(self.n)
+        self._apply_peak(self.n)
+
+    def _apply_peak(self, k: int) -> None:
+        """The ``max_queue_depth`` high-water mark the per-packet path
+        would have recorded over the first ``k`` enqueues."""
+        if not k:
+            return
+        port = self.port_out
+        peak = max(self.depths[:k])
+        if peak > port._max_depth:
+            port._max_depth = peak
+            port.max_depth_gauge.set(peak)
+
+    # ------------------------------------------------------------------
+    # Unfold
+    # ------------------------------------------------------------------
+    def unfold(self) -> None:
+        if self.state is not _FOLDED:
+            if self.state is _DELIVERED:
+                self._flush_delivered()
+            return
+        self.state = _UNFOLDED
+        env = self.env
+        t = env.now
+        self._deregister()
+        self._clear_guards()
+        self.c_unfolds.add()
+        n_tx = bisect_right(self.C, t)
+        n_a1 = bisect_right(self.A1, t)   # arrived at the switch
+        n_fwd = bisect_right(self.I, t)   # through lookup, enqueued
+        n_out = bisect_right(self.D, t)   # sent on the second hop
+        n_arr = bisect_right(self.A, t)   # arrived at the NIC
+
+        if self.kind == "write":
+            self.ensure_entries(bisect_right(self.F, t))
+        self._unfold_sender(t, n_tx)
+
+        cable1, cable2 = self.cable, self.cable2
+        # In flight on the first hop: organic arrival into the port's rx
+        # stream (the real ingress loop takes over from there).
+        for i in range(n_a1, n_tx):
+            env.timeout(self.A1[i] - t).callbacks.append(
+                lambda _event, packet=self._packet(i), dest=self.dest:
+                    cable1._arrive_direct(packet, dest))
+        if n_a1:
+            cable1.frames_delivered.add(n_a1)
+            self.port_in.frames_in.add(n_a1)
+            # Ingress is busy until the last picked-up frame's lookup
+            # completes; replayed arrivals must queue behind it.
+            self.port_in._ingress_floor = self.I[n_a1 - 1]
+        if n_fwd:
+            self.switch.frames_forwarded.add(n_fwd)
+            self._apply_peak(n_fwd)
+        # Mid-lookup frames: synthetic enqueue at the exact time the
+        # forwarding-latency window ends.
+        for i in range(n_fwd, n_a1):
+            env.timeout(self.I[i] - t).callbacks.append(
+                lambda _event, i=i: self._synthetic_enqueue(i))
+        # Enqueued but not yet sent: back into the real output queue (in
+        # order, ahead of any later enqueue), with the egress pacing
+        # floor so the drain resumes at the analytic times.
+        for i in range(n_out, n_fwd):
+            self.port_out.queue.try_put(self._packet(i))
+        if n_out:
+            self.port_out.frames_out.add(n_out)
+            cable2.bytes_on_wire.add(sum(self.wire[:n_out]))
+            self.port_out._egress_floor = self.P[n_out - 1]
+            cable2._free_at[self.side2] = self.E2c[n_out - 1]
+        else:
+            cable2._free_at[self.side2] = self.pre_free2
+        # In flight on the second hop.
+        for i in range(n_arr, n_out):
+            env.timeout(self.A[i] - t).callbacks.append(
+                lambda _event, packet=self._packet(i), dest=self.dest2:
+                    cable2._arrive_direct(packet, dest))
+        if n_arr:
+            cable2.frames_delivered.add(n_arr)
+            self._receiver_prefix(n_arr)
+        self._unfold_wlane(n_arr, t)
+
+    def _synthetic_enqueue(self, i: int) -> None:
+        """The tail of one ingress-loop iteration (lookup done ->
+        enqueue), replayed for a frame whose forwarding-latency window
+        straddled the unfold."""
+        port = self.port_out
+        self.switch.frames_forwarded.add()
+        depth = len(port.queue)
+        if not port.queue.try_put(self._packet(i)):
+            port.tail_drops.add()
+            self.switch.frames_dropped.add()
+            return
+        depth += 1
+        if depth > port._max_depth:
+            port._max_depth = depth
+            port.max_depth_gauge.set(depth)
+
+    # ------------------------------------------------------------------
+    # Shadow validation
+    # ------------------------------------------------------------------
+    def _shadow_path(self, arrivals: List[int]) -> List[int]:
+        switch, cable2 = self.switch, self.cable2
+        fwd = switch.config.forwarding_latency
+        bps2 = cable2.bits_per_second
+        prop2 = cable2.propagation + cable2.extra_latency \
+            + cable2._receiver_delay[self.dest2]
+        prev_i = prev_p = 0
+        free2 = self.pre_free2
+        out: List[int] = []
+        for i in range(self.n):
+            packet = self._packet(i)
+            done = max(arrivals[i], prev_i) + fwd
+            d = max(done, prev_p)
+            tt = timebase.transfer_time_ps(packet.wire_bytes, bps2)
+            p = d + tt
+            e = max(free2, d) + tt
+            a2 = e + prop2
+            assert done == self.I[i] and d == self.D[i] \
+                and p == self.P[i] and e == self.E2c[i] \
+                and a2 == self.A[i], \
+                (self.kind, i, (done, d, p, e, a2),
+                 (self.I[i], self.D[i], self.P[i], self.E2c[i],
+                  self.A[i]))
+            out.append(a2)
+            prev_i, prev_p, free2 = done, p, e
+        return out
+
+
+# ----------------------------------------------------------------------
+# Fold entry points (called by the NIC with the gates' cheap half done)
+# ----------------------------------------------------------------------
+def _resolve_path(nic, dest_ip):
+    """The clean path from ``nic`` toward ``dest_ip``: ``(recv, leg)``
+    where ``leg`` is None for a direct cable or a :class:`_SwitchLeg`
+    for a one-switch hop; None to refuse the fold."""
+    cable = nic._cable
+    if not _cable_clean(cable):
+        return None
+    dest = "b" if nic._cable_side == "a" else "a"
+    recv = _resolve_receiver(cable, dest)
+    leg = None
+    if recv is None:
+        leg = _resolve_switch_leg(nic, cable, dest, dest_ip)
+        if leg is None:
+            return None
+        recv = leg.recv
+    if recv is nic or not _receiver_clean(recv):
+        return None
+    return recv, leg
+
+
+def _make_flight(leg, *args, **kwargs) -> BurstFlight:
+    if leg is None:
+        return BurstFlight(*args, **kwargs)
+    return SwitchBurstFlight(leg, *args, **kwargs)
+
+
+def try_fold_write(nic, command, qp, segments, first_psn, fetch,
+                   gate) -> bool:
+    """Attempt to fold one requester WRITE; True = folded (the caller's
+    per-packet loop must not run)."""
+    if not burst_enabled(nic.env):
+        return False
+    if segments is None or len(segments) < FOLD_MIN_PACKETS:
+        return False
+    from ..nic.dma import FetchPlan
+    if not isinstance(fetch, FetchPlan):
+        return False
+    if not _sender_clean(nic, qp):
+        return False
+    if qp.requester.unacked or nic.timer.attempts(qp.qpn) \
+            or nic.timer.is_armed(qp.qpn):
+        return False
+    path = _resolve_path(nic, qp.dest_ip)
+    if path is None:
+        return False
+    recv, leg = path
+    if qp.dest_qpn not in recv.qps:
+        return False
+    rqp = recv.qps.get(qp.dest_qpn)
+    if (rqp.in_error or rqp.dest_qpn != qp.qpn
+            or rqp.dest_ip != nic.ip or qp.dest_ip != recv.ip):
+        return False
+    responder = rqp.responder
+    if responder.expected_psn != first_psn \
+            or responder.write_cursor is not None:
+        return False
+    if not recv._tx_gate.triggered or not recv._resp_gate.triggered:
+        return False
+
+    flight = _make_flight(
+        leg, "write", nic, recv, qp, rqp, segments, first_psn, fetch,
+        gate, base_addr=command.raddr, raddr=command.raddr,
+        msg_length=command.length, completion=command.completion,
+        ctx=None)
+    try:
+        flight.compute_schedule()
+    except Exception:
+        return False  # e.g. unmapped destination page: per-packet path
+    # The timer arms at C[-1] with the base timeout; it must not expire
+    # while the schedule is still authoritative (before E2).
+    if flight.C[-1] + nic.timer.timeout <= flight.A[-1]:
+        return False
+    flight.commit()
+    return True
+
+
+def try_fold_read(nic, qp, packet, segments, fetch, gate) -> bool:
+    """Attempt to fold one responder READ-response stream; True =
+    folded (the caller's per-packet serve loop must not run)."""
+    if not burst_enabled(nic.env):
+        return False
+    if len(segments) < FOLD_MIN_PACKETS:
+        return False
+    from ..nic.dma import FetchPlan
+    if not isinstance(fetch, FetchPlan):
+        return False
+    if not _sender_clean(nic, qp):
+        return False
+    if nic.dma.burst_guard is not None:
+        return False
+    path = _resolve_path(nic, qp.dest_ip)
+    if path is None:
+        return False
+    recv, leg = path
+    if qp.dest_qpn not in recv.qps:
+        return False
+    rqp = recv.qps.get(qp.dest_qpn)
+    if (rqp.in_error or rqp.dest_qpn != qp.qpn
+            or rqp.dest_ip != nic.ip or qp.dest_ip != recv.ip):
+        return False
+    if recv.multiqueue.is_empty(rqp.qpn):
+        return False
+    ctx = recv.multiqueue.peek(rqp.qpn)
+    if (ctx.first_psn != packet.bth.psn or ctx.next_index != 0
+            or ctx.bytes_received != 0
+            or ctx.packet_count != len(segments)
+            or ctx.span is not None):
+        return False
+    # Conservative: every outstanding requester entry must be a READ so
+    # no WRITE tail is waiting on an ACK that would interleave.
+    if any(e.kind != "read" for e in rqp.requester.unacked):
+        return False
+    if recv.timer.attempts(rqp.qpn):
+        return False
+
+    flight = _make_flight(
+        leg, "read", nic, recv, qp, rqp, segments, packet.bth.psn,
+        fetch, gate, base_addr=ctx.laddr, raddr=0,
+        msg_length=packet.reth.dma_length, completion=None, ctx=ctx)
+    try:
+        flight.compute_schedule()
+    except Exception:
+        return False
+    # The requester's retransmission timer (armed when the READ request
+    # went out) must not fire while the response schedule is in flight.
+    deadline = recv.timer.deadline(rqp.qpn)
+    if deadline is None or deadline <= flight.wend[-1]:
+        return False
+    flight.commit()
+    return True

@@ -84,6 +84,27 @@ def segment_rpc_write(length: int) -> List[Segment]:
                     config.MAX_PAYLOAD_NO_RETH, _RPC_WRITE_SET)
 
 
+def l3_bytes_for_segments(segments: List[Segment],
+                          response: bool = False) -> List[int]:
+    """Per-segment L3 frame sizes (IPv4 + UDP + BTH [+RETH] [+AETH] +
+    payload + ICRC) without materializing packets — the burst fast path
+    sizes a whole message analytically from its segment list.  Must stay
+    bit-identical to :attr:`repro.roce.packet.RocePacket.l3_bytes`;
+    ``REPRO_BURST_VALIDATE=1`` asserts exactly that."""
+    from .opcodes import carries_aeth
+    base = (config.IPV4_HEADER_BYTES + config.UDP_HEADER_BYTES
+            + config.BTH_BYTES + config.ICRC_BYTES)
+    sizes = []
+    for seg in segments:
+        size = base + seg.length
+        if seg.carries_reth:
+            size += config.RETH_BYTES
+        if response and carries_aeth(seg.opcode):
+            size += config.AETH_BYTES
+        sizes.append(size)
+    return sizes
+
+
 def read_response_packet_count(length: int) -> int:
     """Number of packets the responder will send for a READ of ``length``
     bytes — the requester must reserve this many PSNs up front, which is

@@ -69,6 +69,13 @@ class ResponderState:
             return PsnVerdict.DUPLICATE
         return PsnVerdict.OUT_OF_ORDER
 
+    def clone(self) -> "ResponderState":
+        """Independent copy (burst shadow validation steps a clone
+        through the per-packet verdicts without touching live state)."""
+        return ResponderState(expected_psn=self.expected_psn,
+                              msn=self.msn,
+                              write_cursor=self.write_cursor)
+
 
 @dataclass
 class _Unacked:

@@ -77,6 +77,10 @@ class RetransmissionTimer:
         self._attempts: Dict[int, int] = {}
         #: The pending countdown process per QP (cancelled on re-arm).
         self._procs: Dict[int, Process] = {}
+        #: Absolute expiry time of the armed timer, per QP (the burst
+        #: fast path gates folds on the deadline landing after the
+        #: analytically scheduled completion).
+        self._deadline: Dict[int, int] = {}
         # Imported here, not at module scope: repro.check reaches back
         # into repro.roce for PSN arithmetic, and this module is pulled
         # in by the roce package __init__.
@@ -119,17 +123,26 @@ class RetransmissionTimer:
         version = self._versions.get(qpn, 0) + 1
         self._versions[qpn] = version
         self._armed[qpn] = True
+        delay = self.next_delay(qpn)
+        self._deadline[qpn] = self.env.now + delay
         self._procs[qpn] = self.env.process(
-            self._countdown(qpn, version, self.next_delay(qpn)))
+            self._countdown(qpn, version, delay))
 
     def disarm(self, qpn: int) -> None:
         """Cancel the timer for ``qpn`` (no-op if not armed)."""
         self._armed[qpn] = False
         self._versions[qpn] = self._versions.get(qpn, 0) + 1
+        self._deadline.pop(qpn, None)
         self._cancel(qpn)
 
     def is_armed(self, qpn: int) -> bool:
         return self._armed.get(qpn, False)
+
+    def deadline(self, qpn: int) -> Optional[int]:
+        """Absolute expiry time of the armed timer, or None."""
+        if not self._armed.get(qpn, False):
+            return None
+        return self._deadline.get(qpn)
 
     def note_progress(self, qpn: int) -> None:
         """Forward progress happened (new ACK / data): reset the backoff
@@ -158,6 +171,7 @@ class RetransmissionTimer:
             return
         if self._armed.get(qpn) and self._versions.get(qpn) == version:
             self._armed[qpn] = False
+            self._deadline.pop(qpn, None)
             self.expirations.add()
             attempts = self._attempts.get(qpn, 0) + 1
             self._attempts[qpn] = attempts

@@ -55,6 +55,9 @@ class Simulator:
         self._queue: List[Tuple[int, int, Event]] = []
         self._ready: Deque[Tuple[int, Event]] = deque()
         self._eid = count()
+        #: Bound ``__next__`` of the eid counter: every trigger path draws
+        #: an id, so saving the ``next()`` dispatch is measurable.
+        self._next_eid = self._eid.__next__
         self._active_process: Optional[Process] = None
 
     # ------------------------------------------------------------------
@@ -74,13 +77,36 @@ class Simulator:
         """Queue ``event`` for processing ``delay`` picoseconds from now."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+        heapq.heappush(self._queue,
+                       (self._now + delay, self._next_eid(), event))
+
+    @property
+    def events_created(self) -> int:
+        """Total events ever created (the next eid to be issued).
+
+        Reads the counter without advancing it; benchmarks divide this by
+        simulated payload bytes to report events-per-simulated-byte.
+        """
+        return self._eid.__reduce__()[1][0]
 
     def peek(self) -> Optional[int]:
-        """Timestamp of the next queued event, or None if the queue is empty."""
-        if self._ready:
+        """Timestamp of the next event to dispatch, or None if idle.
+
+        Mirrors :meth:`_pop_next`'s tie-break exactly: a heap event due
+        *now* with a lower eid than the ready head dispatches first, and
+        either way the next dispatch happens at the current time whenever
+        the ready deque is non-empty (ready events are by construction
+        due now).
+        """
+        ready = self._ready
+        queue = self._queue
+        if ready:
+            if queue:
+                head = queue[0]
+                if head[0] == self._now and head[1] < ready[0][0]:
+                    return head[0]
             return self._now
-        return self._queue[0][0] if self._queue else None
+        return queue[0][0] if queue else None
 
     # ------------------------------------------------------------------
     # Factories
@@ -152,6 +178,7 @@ class Simulator:
         queue = self._queue
         ready = self._ready
         pop = heappop
+        popleft = ready.popleft
         while True:
             # Inlined _pop_next + step (kept in sync with the methods).
             if ready:
@@ -159,7 +186,7 @@ class Simulator:
                         and queue[0][1] < ready[0][0]:
                     self._now, _, event = pop(queue)
                 else:
-                    event = ready.popleft()[1]
+                    event = popleft()[1]
             elif queue:
                 if until is not None and queue[0][0] > until:
                     self._now = until
@@ -196,6 +223,7 @@ class Simulator:
         queue = self._queue
         ready = self._ready
         pop = heappop
+        popleft = ready.popleft
         while not process.triggered:
             # Inlined _pop_next + step (kept in sync with the methods).
             if ready:
@@ -203,7 +231,7 @@ class Simulator:
                         and queue[0][1] < ready[0][0]:
                     self._now, _, event = pop(queue)
                 else:
-                    event = ready.popleft()[1]
+                    event = popleft()[1]
             elif queue:
                 if limit is not None and queue[0][0] > limit:
                     raise SimulationError(

@@ -80,7 +80,7 @@ class Event:
         self._ok = True
         self._value = value
         env = self.env
-        env._ready.append((next(env._eid), self))
+        env._ready.append((env._next_eid(), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -92,7 +92,7 @@ class Event:
         self._ok = False
         self._value = exception
         env = self.env
-        env._ready.append((next(env._eid), self))
+        env._ready.append((env._next_eid(), self))
         return self
 
     def __repr__(self) -> str:
@@ -119,7 +119,7 @@ class Timeout(Event):
         self._interrupt = False
         self._waiter = None
         self.delay = delay
-        heappush(env._queue, (env._now + delay, next(env._eid), self))
+        heappush(env._queue, (env._now + delay, env._next_eid(), self))
 
 
 class Interrupt(Exception):
@@ -151,7 +151,7 @@ class Process(Event):
         bootstrap = Event(env)
         bootstrap._value = None
         bootstrap._waiter = self
-        env._ready.append((next(env._eid), bootstrap))
+        env._ready.append((env._next_eid(), bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -189,7 +189,7 @@ class Process(Event):
         poke._ok = False
         poke._value = Interrupt(cause)
         poke._interrupt = True  # do not treat as a normal failure
-        env._ready.append((next(env._eid), poke))
+        env._ready.append((env._next_eid(), poke))
 
     def _resume(self, event: Event) -> None:
         env = self.env
@@ -227,7 +227,7 @@ class Process(Event):
             self._target = None
             self._ok = False
             self._value = exc
-            env._ready.append((next(env._eid), self))
+            env._ready.append((env._next_eid(), self))
             return
         finally:
             env._active_process = None

@@ -1,0 +1,389 @@
+"""Burst fast path: folded and per-packet execution are bit-identical.
+
+The fold's correctness contract (see ``repro.roce.burst``) is that a
+clean-path multi-packet message costs O(1) scheduler events while every
+observable — completion timestamps, destination memory, every non-burst
+metric — is exactly what the per-packet machinery would have produced,
+and that any slow-path trigger mid-flight *unfolds* the message at the
+correct PSN boundary.  Each test here runs the same seeded scenario
+twice (folding forced off, then on) and asserts the two runs are
+indistinguishable, sweeping interference offsets so unfolds land in
+every pipeline stage: TX, first hop, switch ingress/queue/egress,
+second hop, and the DMA write-back tail.
+"""
+
+import random
+
+import pytest
+
+from repro.check.monitors import monitors_enabled_by_env
+from repro.core.payload import copy_validate_enabled
+from repro.cluster.topology import build_pair, build_star
+from repro.config import (MAX_PAYLOAD_NO_RETH, MAX_PAYLOAD_WITH_RETH,
+                          NIC_100G)
+from repro.obs import registry_for
+from repro.roce import burst
+from repro.sim import MS, US, Simulator
+
+# Invariant monitors hook every per-packet edge, so the burst plane
+# refuses to fold while a checker is attached (see repro.check.monitors)
+# — under REPRO_CHECK=1 both runs are per-packet and the folds>0
+# assertions below cannot hold.  Burst correctness has its own CI leg
+# (REPRO_BURST_VALIDATE=1).
+pytestmark = pytest.mark.skipif(
+    monitors_enabled_by_env(),
+    reason="monitors disable burst folding by design")
+
+MTU_PAYLOAD = 1456
+BIG = 256 * 1024
+
+
+def _snapshot(sim):
+    """Every metric except the burst bookkeeping counters (those count
+    folds, which differ between the two runs by design)."""
+    return {k: v for k, v in
+            registry_for(sim).snapshot().as_flat_dict().items()
+            if ".burst." not in k}
+
+
+def _folds(sim):
+    return sum(v for k, v in
+               registry_for(sim).snapshot().as_flat_dict().items()
+               if k.endswith(".burst.folds"))
+
+
+def _unfolds(sim):
+    return sum(v for k, v in
+               registry_for(sim).snapshot().as_flat_dict().items()
+               if k.endswith(".burst.unfolds"))
+
+
+def _dual(scenario, *args):
+    """Run ``scenario`` with folding off and on; assert equivalence.
+    Returns the folding-on simulator for fold/unfold-count asserts."""
+    rows_off, mem_off, sim_off = scenario(False, *args)
+    rows_on, mem_on, sim_on = scenario(True, *args)
+    assert rows_on == rows_off
+    assert mem_on == mem_off
+    snap_off, snap_on = _snapshot(sim_off), _snapshot(sim_on)
+    if snap_on != snap_off:
+        diff = {k: (snap_off.get(k), snap_on.get(k))
+                for k in set(snap_off) | set(snap_on)
+                if snap_off.get(k) != snap_on.get(k)}
+        raise AssertionError(f"metric divergence: {diff}")
+    return sim_on
+
+
+def _drive(sim, driver, extras=()):
+    for proc in extras:
+        sim.process(proc)
+    main = sim.process(driver)
+    sim.run_until_complete(main, limit=10_000 * MS)
+    sim.run()
+
+
+# ---------------------------------------------------------------------------
+# Direct cable (build_pair)
+# ---------------------------------------------------------------------------
+
+def _pair(on):
+    sim = Simulator()
+    burst.set_burst_mode(sim, on)
+    cluster = build_pair(sim, nic_config=NIC_100G)
+    return sim, cluster, cluster.hosts[0], cluster.hosts[1]
+
+
+def _pair_scenario(on, seed):
+    """Seeded random verb mix straddling the fold threshold, both
+    directions, with occasional back-to-back ops."""
+    sim, cluster, client, server = _pair(on)
+    rng = random.Random(seed)
+    sizes = [1, 1456, 3 * MTU_PAYLOAD, 4 * MTU_PAYLOAD, 8192,
+             40_000, 64 * 1024, BIG]
+    src = client.alloc(BIG, "src")
+    dst = server.alloc(BIG, "dst")
+    client.space.write(src.vaddr, bytes(i % 251 for i in range(BIG)))
+    server.space.write(dst.vaddr, bytes(i % 241 for i in range(BIG)))
+    ops = [(rng.choice(("write", "read")), rng.choice(sizes))
+           for _ in range(10)]
+    rows = []
+
+    def driver():
+        for index, (verb, size) in enumerate(ops):
+            if verb == "write":
+                yield from client.write_sync(1, src.vaddr, dst.vaddr,
+                                             size)
+            else:
+                yield from client.read_sync(1, src.vaddr, dst.vaddr,
+                                            size)
+            rows.append((index, verb, size, sim.now))
+
+    _drive(sim, driver())
+    mem = (bytes(client.space.read(src.vaddr, BIG)),
+           bytes(server.space.read(dst.vaddr, BIG)))
+    return rows, mem, sim
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_pair_mixed_verbs_equivalent(seed):
+    sim = _dual(_pair_scenario, seed)
+    assert _folds(sim) > 0
+
+
+def _write_size_for(packets):
+    """Byte count that segments into exactly ``packets`` WRITE packets
+    (the first carries a RETH and holds slightly less payload)."""
+    return MAX_PAYLOAD_WITH_RETH + (packets - 1) * MAX_PAYLOAD_NO_RETH
+
+
+def _threshold_scenario(on, packets):
+    sim, cluster, client, server = _pair(on)
+    size = _write_size_for(packets)
+    src = client.alloc(size, "src")
+    dst = server.alloc(size, "dst")
+    client.space.write(src.vaddr, bytes(i % 199 for i in range(size)))
+    rows = []
+
+    def driver():
+        yield from client.write_sync(1, src.vaddr, dst.vaddr, size)
+        rows.append(sim.now)
+
+    _drive(sim, driver())
+    return rows, bytes(server.space.read(dst.vaddr, size)), sim
+
+
+@pytest.mark.parametrize("packets", [3, 4, 5])
+def test_fold_threshold_straddle(packets):
+    sim = _dual(_threshold_scenario, packets)
+    # Folding engages exactly from FOLD_MIN_PACKETS up.
+    assert (_folds(sim) > 0) == (packets >= burst.FOLD_MIN_PACKETS)
+
+
+def _interfered_pair_scenario(on, offset_ps, interfere):
+    """One big WRITE with a slow-path trigger injected mid-flight."""
+    sim, cluster, client, server = _pair(on)
+    src = client.alloc(BIG, "src")
+    dst = server.alloc(BIG, "dst")
+    back = server.alloc(4096, "back")
+    rsp = client.alloc(4096, "rsp")
+    client.space.write(src.vaddr, bytes(i % 251 for i in range(BIG)))
+    server.space.write(back.vaddr, b"\x5a" * 4096)
+    rows = []
+
+    def driver():
+        yield from client.write_sync(1, src.vaddr, dst.vaddr, BIG)
+        rows.append(("write", sim.now))
+
+    def interferer():
+        yield sim.timeout(offset_ps)
+        result = interfere(sim, cluster, client, server, back, rsp, src)
+        if result is not None:
+            yield from result
+        rows.append(("interfered", sim.now))
+
+    _drive(sim, driver(), extras=[interferer()])
+    mem = (bytes(server.space.read(dst.vaddr, BIG)),
+           bytes(client.space.read(rsp.vaddr, 4096)))
+    return rows, mem, sim
+
+
+def _reverse_write(sim, cluster, client, server, back, rsp, src):
+    return server.write_sync(1, back.vaddr, rsp.vaddr, 4096)
+
+
+def _latency_spike(sim, cluster, client, server, back, rsp, src):
+    cable = cluster.access_cables[client.name]
+    cable.set_extra_latency(3 * US)
+
+    def clear():
+        yield sim.timeout(5 * US)
+        cable.set_extra_latency(0)
+    sim.process(clear())
+    return None
+
+
+def _link_flap(sim, cluster, client, server, back, rsp, src):
+    cable = cluster.access_cables[client.name]
+    cable.set_up(False)
+
+    def raise_carrier():
+        yield sim.timeout(4 * US)
+        cable.set_up(True)
+    sim.process(raise_carrier())
+    return None
+
+
+def _source_store(sim, cluster, client, server, back, rsp, src):
+    # Raw host store into the in-flight send buffer: the folded WRITE
+    # must unfold so not-yet-fetched packets pick up the new bytes with
+    # exactly the per-packet memory ordering.
+    client.space.write(src.vaddr + BIG // 2, b"\xaa" * 64)
+    return None
+
+
+def _cc_enable(sim, cluster, client, server, back, rsp, src):
+    cluster.enable_congestion_control()
+    return None
+
+
+_PAIR_TRIGGERS = {
+    "reverse_write": _reverse_write,
+    "latency_spike": _latency_spike,
+    "link_flap": _link_flap,
+    "source_store": _source_store,
+    "cc_enable": _cc_enable,
+}
+
+#: Offsets chosen to land in the TX window, mid-wire, and the DMA tail
+#: of a 256 KiB transfer at 100G (~21 us serialization).
+_OFFSETS_US = [1, 5, 12, 20]
+
+
+@pytest.mark.parametrize("trigger", sorted(_PAIR_TRIGGERS))
+@pytest.mark.parametrize("offset_us", _OFFSETS_US)
+def test_pair_unfold_triggers(trigger, offset_us):
+    if trigger == "source_store" and copy_validate_enabled():
+        # Copy-validation mode treats any mid-flight send-buffer store
+        # as an aliasing error, in per-packet and folded runs alike.
+        pytest.skip("mid-flight send-buffer stores are illegal under "
+                    "copy validation")
+    _dual(_interfered_pair_scenario, offset_us * US,
+          _PAIR_TRIGGERS[trigger])
+
+
+def test_unfold_counter_increments():
+    sim = _dual(_interfered_pair_scenario, 5 * US, _link_flap)
+    assert _unfolds(sim) > 0
+
+
+# ---------------------------------------------------------------------------
+# One-switch leg (build_star)
+# ---------------------------------------------------------------------------
+
+def _star_scenario(on, offset_ps, interfere):
+    """h0 -> h1 big WRITE through the switch, with interference."""
+    sim = Simulator()
+    burst.set_burst_mode(sim, on)
+    cluster = build_star(sim, 3, nic_config=NIC_100G)
+    h0, h1, h2 = cluster.hosts
+    qp01, _ = cluster.connect(h0, h1)
+    qp21, _ = cluster.connect(h2, h1)
+    src = h0.alloc(BIG, "src")
+    dst = h1.alloc(BIG, "dst")
+    side_src = h2.alloc(8192, "side_src")
+    side_dst = h1.alloc(8192, "side_dst")
+    h0.space.write(src.vaddr, bytes(i % 251 for i in range(BIG)))
+    h2.space.write(side_src.vaddr, b"\x3c" * 8192)
+    rows = []
+
+    def driver():
+        yield from h0.write_sync(qp01, src.vaddr, dst.vaddr, BIG)
+        rows.append(("write", sim.now))
+
+    def interferer():
+        yield sim.timeout(offset_ps)
+        result = interfere(sim, cluster, h1, h2, qp21, side_src,
+                           side_dst)
+        if result is not None:
+            yield from result
+        rows.append(("interfered", sim.now))
+
+    _drive(sim, driver(), extras=[interferer()])
+    mem = (bytes(h1.space.read(dst.vaddr, BIG)),
+           bytes(h1.space.read(side_dst.vaddr, 8192)))
+    return rows, mem, sim
+
+
+def _third_host_write(sim, cluster, h1, h2, qp21, side_src, side_dst):
+    # A competing flow crosses the switch mid-flight: the ingress
+    # guard must unfold before its first frame can interleave.
+    return h2.write_sync(qp21, side_src.vaddr, side_dst.vaddr, 8192)
+
+
+def _port_blackout(sim, cluster, h1, h2, qp21, side_src, side_dst):
+    switch = cluster.switches[0]
+    switch.set_port_up(1, False)
+
+    def restore():
+        yield sim.timeout(4 * US)
+        switch.set_port_up(1, True)
+    sim.process(restore())
+    return None
+
+
+def _access_spike(sim, cluster, h1, h2, qp21, side_src, side_dst):
+    cable = cluster.access_cables[h1.name]
+    cable.set_extra_latency(2 * US)
+
+    def clear():
+        yield sim.timeout(6 * US)
+        cable.set_extra_latency(0)
+    sim.process(clear())
+    return None
+
+
+_STAR_TRIGGERS = {
+    "third_host_write": _third_host_write,
+    "port_blackout": _port_blackout,
+    "egress_cable_spike": _access_spike,
+}
+
+
+def _noop(sim, cluster, h1, h2, qp21, side_src, side_dst):
+    return None
+
+
+def test_star_clean_path_folds():
+    sim = _dual(_star_scenario, 9_000 * MS, _noop)
+    assert _folds(sim) > 0
+    assert _unfolds(sim) == 0
+
+
+@pytest.mark.parametrize("trigger", sorted(_STAR_TRIGGERS))
+@pytest.mark.parametrize("offset_us", _OFFSETS_US)
+def test_star_unfold_triggers(trigger, offset_us):
+    _dual(_star_scenario, offset_us * US, _STAR_TRIGGERS[trigger])
+
+
+def test_star_third_host_unfolds():
+    sim = _dual(_star_scenario, 5 * US, _third_host_write)
+    assert _unfolds(sim) > 0
+
+
+def _symmetric_posts_scenario(on):
+    """Two senders post multi-packet WRITEs to one receiver at the
+    same instant (the incast pattern): the first poster's fold must be
+    handed back to the per-packet machinery at the second sender's
+    post time, *before* the competitor creates any events — otherwise
+    the replay loses every same-picosecond event-order tie the
+    per-packet schedule would have won."""
+    sim = Simulator()
+    burst.set_burst_mode(sim, on)
+    cluster = build_star(sim, 3, nic_config=NIC_100G)
+    h0, h1, h2 = cluster.hosts
+    qp01, _ = cluster.connect(h0, h1)
+    qp21, _ = cluster.connect(h2, h1)
+    size = 64 * 1024
+    src0 = h0.alloc(size, "src0")
+    src2 = h2.alloc(size, "src2")
+    dst0 = h1.alloc(size, "dst0")
+    dst2 = h1.alloc(size, "dst2")
+    h0.space.write(src0.vaddr, bytes(i % 251 for i in range(size)))
+    h2.space.write(src2.vaddr, bytes(i % 241 for i in range(size)))
+    rows = []
+
+    def writer(tag, host, qpn, src, dst):
+        for burst_no in range(3):
+            yield from host.write_sync(qpn, src.vaddr, dst.vaddr, size)
+            rows.append((tag, burst_no, sim.now))
+
+    _drive(sim, writer("h0", h0, qp01, src0, dst0),
+           extras=[writer("h2", h2, qp21, src2, dst2)])
+    mem = (bytes(h1.space.read(dst0.vaddr, size)),
+           bytes(h1.space.read(dst2.vaddr, size)))
+    return sorted(rows), mem, sim
+
+
+def test_star_symmetric_posts_equivalent():
+    sim = _dual(_symmetric_posts_scenario)
+    assert _unfolds(sim) > 0

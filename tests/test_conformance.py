@@ -16,7 +16,7 @@ from repro.check.harness import (
 
 #: Small fixed set for tier-1; CI sweeps 25 runs per seed.
 _TIER1_SEED = 7
-_TIER1_RUNS = 5
+_TIER1_RUNS = 6
 
 
 def test_fixed_seed_sweep_is_clean():
@@ -25,9 +25,9 @@ def test_fixed_seed_sweep_is_clean():
     for row in rows:
         assert row["checks"] > 0
         assert row["violations"] == 0
-    # The fixed set exercises both scenario families.
+    # The fixed set exercises all three scenario families.
     scenarios = {row["scenario"] for row in rows}
-    assert scenarios == {"raw", "kv"}
+    assert scenarios == {"raw", "kv", "burst"}
 
 
 def test_runs_are_deterministic():
@@ -116,9 +116,9 @@ def test_injected_psn_skip_bug_is_caught(monkeypatch):
 
     monkeypatch.setattr(qp_module.RequesterState, "allocate_psns",
                         skipping_allocate)
-    # Run index 2 of seed 7 is a raw READ/WRITE run with enough traffic
+    # Run index 5 of seed 7 is a raw READ/WRITE run with enough traffic
     # to reach the mutated third allocation.
-    index = 2
+    index = 5
     with pytest.raises(InvariantViolation) as caught:
         run_one(_TIER1_SEED, index)
     violation = caught.value

@@ -253,3 +253,50 @@ def test_transfer_time():
 def test_transfer_time_rejects_negative():
     with pytest.raises(ValueError):
         timebase.transfer_time_ps(-1, 10e9)
+
+
+def test_peek_matches_dispatch_tiebreak():
+    """peek() must mirror _pop_next: a heap event due now with a lower
+    eid dispatches before a ready-deque event, and peek reports the time
+    of whichever would actually dispatch next."""
+    sim = Simulator()
+    order = []
+
+    def stamper(tag):
+        def cb(_event):
+            order.append((tag, sim.now))
+        return cb
+
+    # Heap event due now (lower eid), then a ready event (higher eid).
+    early = sim.timeout(0)
+    early.callbacks.append(stamper("heap"))
+    late = sim.event()
+    late.succeed()
+    late.callbacks.append(stamper("ready"))
+
+    assert sim.peek() == 0  # both due now
+    sim.step()
+    assert order == [("heap", 0)]  # lower-eid heap event went first
+    assert sim.peek() == 0
+    sim.step()
+    assert order == [("heap", 0), ("ready", 0)]
+    assert sim.peek() is None
+
+
+def test_peek_ready_event_before_future_heap_event():
+    sim = Simulator()
+    sim.timeout(5 * NS)
+    assert sim.peek() == 5 * NS  # only a future heap event
+    sim.event().succeed()
+    assert sim.peek() == 0  # ready events are due now
+    sim.step()
+    assert sim.peek() == 5 * NS
+
+
+def test_events_created_counter_peek_does_not_advance():
+    sim = Simulator()
+    base = sim.events_created
+    assert sim.events_created == base  # reading twice is stable
+    sim.timeout(1)
+    sim.event().succeed()
+    assert sim.events_created == base + 2

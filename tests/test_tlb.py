@@ -100,3 +100,38 @@ def test_split_command_miss_mid_stream():
     assert next(pieces) == (page - 64, 64)
     with pytest.raises(TlbMissError):
         next(pieces)
+
+
+def test_last_translation_cache_hit_miss_invalidate():
+    """The one-entry cache hits on same-page repeats, misses across
+    pages, and is invalidated when the driver remaps a page."""
+    tlb, config = make_tlb()
+    page = config.page_bytes
+    tlb.populate_from({0: 4 * page, 1: 9 * page})
+
+    assert tlb.translate(10) == 4 * page + 10
+    assert tlb.cache_hits == 0  # cold: table probe filled the cache
+    assert tlb.translate(20) == 4 * page + 20
+    assert tlb.translate(page - 1) == 5 * page - 1
+    assert tlb.cache_hits == 2  # same-page repeats hit
+
+    assert tlb.translate(page + 5) == 9 * page + 5
+    assert tlb.cache_hits == 2  # page change: table probe again
+    assert tlb.translate(page + 6) == 9 * page + 6
+    assert tlb.cache_hits == 3
+
+    # Remap the cached page: the stale base must never be served.
+    tlb.populate(1, 2 * page)
+    assert tlb.translate(page + 7) == 2 * page + 7
+    assert tlb.cache_hits == 3
+    assert tlb.lookups == 6
+
+
+def test_last_translation_cache_does_not_mask_misses():
+    tlb, config = make_tlb()
+    page = config.page_bytes
+    tlb.populate(0, 0)
+    assert tlb.translate(0) == 0
+    with pytest.raises(TlbMissError):
+        tlb.translate(page)  # unpinned page after a cached hit
+    assert tlb.translate(1) == 1  # cache still valid for page 0
